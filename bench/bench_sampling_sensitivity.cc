@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Section 4.1 claim: profiling <=1% of a large training store is
+ * enough for placement-quality statistics. We sweep the profile
+ * sample count and measure the *replayed* quality (UVM-sourced
+ * access fraction and bottleneck time) of the resulting RecShard
+ * plan on held-out traffic.
+ */
+
+#include <iostream>
+
+#include "recshard/base/table.hh"
+#include "recshard/core/pipeline.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/report/experiment.hh"
+#include "recshard/sharding/recshard_solver.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_sampling_sensitivity");
+    ExperimentConfig::addFlags(flags);
+    flags.parse(argc, argv);
+    ExperimentConfig cfg = ExperimentConfig::fromFlags(flags);
+
+    // A capacity-constrained mid-size model keeps the sweep quick.
+    const ModelSpec model = makeRmByName("rm2", cfg.scale / 4.0);
+    SyntheticDataset data(model, cfg.seed);
+    const SystemSpec sys = SystemSpec::paper(cfg.gpus,
+                                             cfg.scale / 4.0);
+    ExecutionEngine engine(data, sys, EmbCostModel(sys));
+
+    TextTable t({"Profile samples", "UVM access %",
+                 "Bottleneck iter (ms)"});
+    for (const std::uint64_t samples :
+         {500ULL, 2000ULL, 8000ULL, 32000ULL, 128000ULL}) {
+        const auto profiles = profileDataset(data, samples, 4096);
+        RecShardOptions rs;
+        rs.batchSize = cfg.batch;
+        const ShardingPlan plan = recShardPlan(model, profiles, sys,
+                                               rs);
+        ReplayConfig rc;
+        rc.batchSize = cfg.batch;
+        rc.warmupIterations = cfg.warmup;
+        rc.measureIterations = cfg.iters;
+        const auto replays = engine.replay(
+            {&plan},
+            {ExecutionEngine::buildResolvers(model, plan,
+                                             profiles)},
+            rc);
+        t.addRow({std::to_string(samples),
+                  fmtDouble(100 * replays[0].uvmAccessFraction(),
+                            2) + "%",
+                  fmtDouble(replays[0].meanBottleneckTime * 1e3,
+                            2)});
+    }
+    t.print(std::cout,
+            "Section 4.1: plan quality vs profile sample size");
+    std::cout << "\nPaper: ~1% of a multi-billion-sample store "
+              << "suffices; quality saturates with sample size.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 2 reproduction: RM1/RM2/RM3 specifications.
+ *
+ * Prints the synthesized model zoo at full scale (exact Table 2 row
+ * totals) and at the configured bench scale.
+ */
+
+#include <iostream>
+
+#include "recshard/base/table.hh"
+#include "recshard/base/units.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/report/experiment.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_table2_specs");
+    ExperimentConfig::addFlags(flags);
+    flags.parse(argc, argv);
+    const ExperimentConfig cfg = ExperimentConfig::fromFlags(flags);
+
+    TextTable table({"Model", "# Sparse Features", "Total Hash Size",
+                     "Emb. Dim.", "Size", "Paper Size"});
+    const char *paper_sizes[] = {"318 GB", "635 GB", "1270 GB"};
+    int row = 0;
+    for (const char *name : {"rm1", "rm2", "rm3"}) {
+        const ModelSpec model = makeRmByName(name, 1.0);
+        table.addRow({model.name,
+                      std::to_string(model.numFeatures()),
+                      std::to_string(model.totalHashRows()),
+                      std::to_string(model.features[0].dim),
+                      formatBytes(model.totalBytes()),
+                      paper_sizes[row++]});
+    }
+    table.print(std::cout,
+                "Table 2: DLRM specifications (full scale)");
+
+    TextTable scaled({"Model", "Total Hash Size", "Size",
+                      "Fits 16-GPU HBM?"});
+    const SystemSpec sys = SystemSpec::paper(cfg.gpus, cfg.scale);
+    for (const char *name : {"rm1", "rm2", "rm3"}) {
+        const ModelSpec model = makeRmByName(name, cfg.scale);
+        const bool fits = model.totalBytes() <= sys.totalHbmBytes();
+        scaled.addRow({model.name,
+                       std::to_string(model.totalHashRows()),
+                       formatBytes(model.totalBytes()),
+                       fits ? "yes" : "no (needs UVM)"});
+    }
+    scaled.print(std::cout, "\nAt bench scale " +
+                 fmtDouble(cfg.scale, 5) + " (capacities scale too)");
+    return 0;
+}

@@ -1,0 +1,162 @@
+#include "recshard/base/flags.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+FlagSet::FlagSet(std::string program_name)
+    : program(std::move(program_name))
+{
+}
+
+void
+FlagSet::addInt(const std::string &name, std::int64_t def,
+                const std::string &help)
+{
+    panic_if(flags.count(name), "duplicate flag --", name);
+    flags[name] = Flag{Kind::Int, help, std::to_string(def)};
+    order.push_back(name);
+}
+
+void
+FlagSet::addDouble(const std::string &name, double def,
+                   const std::string &help)
+{
+    panic_if(flags.count(name), "duplicate flag --", name);
+    std::ostringstream os;
+    os << def;
+    flags[name] = Flag{Kind::Double, help, os.str()};
+    order.push_back(name);
+}
+
+void
+FlagSet::addString(const std::string &name, const std::string &def,
+                   const std::string &help)
+{
+    panic_if(flags.count(name), "duplicate flag --", name);
+    flags[name] = Flag{Kind::String, help, def};
+    order.push_back(name);
+}
+
+void
+FlagSet::addBool(const std::string &name, const std::string &help)
+{
+    panic_if(flags.count(name), "duplicate flag --", name);
+    flags[name] = Flag{Kind::Bool, help, "0"};
+    order.push_back(name);
+}
+
+void
+FlagSet::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        fatal_if(arg.rfind("--", 0) != 0,
+                 "unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool have_value = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            have_value = true;
+        }
+
+        auto it = flags.find(name);
+        fatal_if(it == flags.end(), "unknown flag --", name, "\n",
+                 usage());
+
+        Flag &flag = it->second;
+        if (flag.kind == Kind::Bool) {
+            flag.value = have_value ? value : "1";
+            if (flag.value != "0" && flag.value != "1")
+                fatal("boolean flag --", name, " takes 0 or 1");
+            continue;
+        }
+        if (!have_value) {
+            fatal_if(i + 1 >= argc, "flag --", name, " needs a value");
+            value = argv[++i];
+        }
+        // Validate numeric forms eagerly.
+        if (flag.kind == Kind::Int) {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 10);
+            fatal_if(*end != '\0', "flag --", name,
+                     " expects an integer, got '", value, "'");
+        } else if (flag.kind == Kind::Double) {
+            char *end = nullptr;
+            std::strtod(value.c_str(), &end);
+            fatal_if(*end != '\0', "flag --", name,
+                     " expects a number, got '", value, "'");
+        }
+        flag.value = value;
+    }
+}
+
+const FlagSet::Flag &
+FlagSet::lookup(const std::string &name, Kind kind) const
+{
+    auto it = flags.find(name);
+    panic_if(it == flags.end(), "flag --", name, " was never added");
+    panic_if(it->second.kind != kind,
+             "flag --", name, " read with the wrong type");
+    return it->second;
+}
+
+std::int64_t
+FlagSet::getInt(const std::string &name) const
+{
+    return std::strtoll(lookup(name, Kind::Int).value.c_str(),
+                        nullptr, 10);
+}
+
+double
+FlagSet::getDouble(const std::string &name) const
+{
+    return std::strtod(lookup(name, Kind::Double).value.c_str(),
+                       nullptr);
+}
+
+const std::string &
+FlagSet::getString(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+bool
+FlagSet::getBool(const std::string &name) const
+{
+    return lookup(name, Kind::Bool).value == "1";
+}
+
+std::string
+FlagSet::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << program << " [flags]\n";
+    for (const auto &name : order) {
+        const Flag &flag = flags.at(name);
+        os << "  --" << name;
+        switch (flag.kind) {
+          case Kind::Int:    os << " <int>"; break;
+          case Kind::Double: os << " <num>"; break;
+          case Kind::String: os << " <str>"; break;
+          case Kind::Bool:   break;
+        }
+        os << "  " << flag.help << " (default: " << flag.value
+           << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace recshard

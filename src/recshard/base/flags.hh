@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for bench and example binaries.
+ *
+ * Supports "--name value" and "--name=value" forms plus boolean
+ * switches ("--verbose"). Unknown flags are fatal so typos in sweep
+ * scripts fail loudly.
+ */
+
+#ifndef RECSHARD_BASE_FLAGS_HH
+#define RECSHARD_BASE_FLAGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace recshard {
+
+/** Declarative flag registry + parser. */
+class FlagSet
+{
+  public:
+    /** @param program_name Shown in the usage banner. */
+    explicit FlagSet(std::string program_name);
+
+    /** Register an int64 flag and its default. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+
+    /** Register a double flag and its default. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+
+    /** Register a string flag and its default. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register a boolean switch, default false. */
+    void addBool(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Prints usage and exits(0) on --help; calls fatal()
+     * on unknown flags or malformed values.
+     */
+    void parse(int argc, char **argv);
+
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    const std::string &getString(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Render the usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { Int, Double, String, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string help;
+        std::string value; // canonical textual value
+    };
+
+    const Flag &lookup(const std::string &name, Kind kind) const;
+
+    std::string program;
+    std::map<std::string, Flag> flags;
+    std::vector<std::string> order;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_BASE_FLAGS_HH

@@ -1,0 +1,31 @@
+#include "recshard/base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace recshard {
+namespace detail {
+
+void
+logRecord(const char *level, const std::string &msg,
+          const char *file, int line)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", level, msg.c_str(),
+                 file, line);
+    std::fflush(stderr);
+}
+
+void
+panicExit()
+{
+    std::abort();
+}
+
+void
+fatalExit()
+{
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace recshard

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status and error reporting helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (a RecShard bug);
+ *             prints the message and aborts (may dump core).
+ * fatal()  -- the caller asked for something impossible (bad
+ *             configuration, invalid arguments); prints and exits(1).
+ * warn()   -- something is suspicious but execution can continue.
+ * inform() -- normal operating status for the user.
+ */
+
+#ifndef RECSHARD_BASE_LOGGING_HH
+#define RECSHARD_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace recshard {
+
+namespace detail {
+
+/** Emit one formatted log record to stderr. */
+void logRecord(const char *level, const std::string &msg,
+               const char *file, int line);
+
+/** Terminate after a panic record (calls std::abort). */
+[[noreturn]] void panicExit();
+
+/** Terminate after a fatal record (calls std::exit(1)). */
+[[noreturn]] void fatalExit();
+
+/** Concatenate a mixed argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace recshard
+
+/** Report an internal error and abort. Never returns. */
+#define panic(...)                                                        \
+    do {                                                                  \
+        ::recshard::detail::logRecord(                                    \
+            "panic", ::recshard::detail::concat(__VA_ARGS__),             \
+            __FILE__, __LINE__);                                          \
+        ::recshard::detail::panicExit();                                  \
+    } while (0)
+
+/** Report a user-caused error and exit(1). Never returns. */
+#define fatal(...)                                                        \
+    do {                                                                  \
+        ::recshard::detail::logRecord(                                    \
+            "fatal", ::recshard::detail::concat(__VA_ARGS__),             \
+            __FILE__, __LINE__);                                          \
+        ::recshard::detail::fatalExit();                                  \
+    } while (0)
+
+/** Report a suspicious-but-survivable condition. */
+#define warn(...)                                                         \
+    ::recshard::detail::logRecord(                                        \
+        "warn", ::recshard::detail::concat(__VA_ARGS__),                  \
+        __FILE__, __LINE__)
+
+/** Report normal operating status. */
+#define inform(...)                                                       \
+    ::recshard::detail::logRecord(                                        \
+        "info", ::recshard::detail::concat(__VA_ARGS__),                  \
+        __FILE__, __LINE__)
+
+/** panic() unless the given invariant holds. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            panic("assertion '" #cond "' failed: ", __VA_ARGS__);         \
+        }                                                                 \
+    } while (0)
+
+/** fatal() unless the given user-facing precondition holds. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond) {                                                       \
+            fatal("condition '" #cond "': ", __VA_ARGS__);                \
+        }                                                                 \
+    } while (0)
+
+#endif // RECSHARD_BASE_LOGGING_HH

@@ -1,0 +1,114 @@
+#include "recshard/base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+RunningStat::RunningStat()
+    : n(0), m1(0.0), m2(0.0),
+      minV(std::numeric_limits<double>::infinity()),
+      maxV(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStat::push(double x)
+{
+    ++n;
+    const double delta = x - m1;
+    m1 += delta / static_cast<double>(n);
+    m2 += delta * (x - m1);
+    minV = std::min(minV, x);
+    maxV = std::max(maxV, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.m1 - m1;
+    const double total = na + nb;
+    m1 += delta * nb / total;
+    m2 += other.m2 + delta * delta * na * nb / total;
+    n += other.n;
+    minV = std::min(minV, other.minV);
+    maxV = std::max(maxV, other.maxV);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    RunningStat acc;
+    for (double x : xs)
+        acc.push(x);
+    Summary s;
+    s.count = acc.count();
+    if (s.count == 0)
+        return s;
+    s.min = acc.min();
+    s.max = acc.max();
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+    return s;
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    fatal_if(xs.empty(), "percentile of an empty sample");
+    fatal_if(q < 0.0 || q > 1.0, "quantile ", q, " outside [0,1]");
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    panic_if(xs.size() != ys.size(),
+             "pearson: length mismatch ", xs.size(), " vs ", ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    RunningStat sx, sy;
+    for (double x : xs)
+        sx.push(x);
+    for (double y : ys)
+        sy.push(y);
+    if (sx.stddev() == 0.0 || sy.stddev() == 0.0)
+        return 0.0;
+    double cov = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+    cov /= static_cast<double>(xs.size() - 1);
+    return cov / (sx.stddev() * sy.stddev());
+}
+
+} // namespace recshard

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Descriptive statistics used across profiling and evaluation.
+ */
+
+#ifndef RECSHARD_BASE_STATS_HH
+#define RECSHARD_BASE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace recshard {
+
+/**
+ * Streaming univariate statistics (Welford's algorithm).
+ *
+ * Tracks count, mean, variance, min, and max without storing the
+ * samples; numerically stable for long streams.
+ */
+class RunningStat
+{
+  public:
+    RunningStat();
+
+    /** Accumulate one observation. */
+    void push(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStat &other);
+
+    /** Number of observations accumulated. */
+    std::uint64_t count() const { return n; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n ? m1 : 0.0; }
+
+    /** Unbiased sample variance; 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return minV; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return maxV; }
+
+    /** Sum of all observations. */
+    double sum() const { return m1 * static_cast<double>(n); }
+
+  private:
+    std::uint64_t n;
+    double m1;   //!< running mean
+    double m2;   //!< running sum of squared deviations
+    double minV;
+    double maxV;
+};
+
+/** Compact five-number summary of a sample. */
+struct Summary
+{
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/** Summarize a sample in one pass. */
+Summary summarize(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated quantile of a sample.
+ *
+ * @param xs Sample values; need not be sorted (a copy is sorted).
+ * @param q  Quantile in [0, 1].
+ */
+double percentile(std::vector<double> xs, double q);
+
+/** Pearson correlation of two equal-length samples; 0 if degenerate. */
+double pearson(const std::vector<double> &xs,
+               const std::vector<double> &ys);
+
+} // namespace recshard
+
+#endif // RECSHARD_BASE_STATS_HH

@@ -1,0 +1,109 @@
+#include "recshard/base/table.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    fatal_if(header.empty(), "a table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != header.size(),
+             "row arity ", cells.size(), " != header arity ",
+             header.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c]
+               << std::string(width[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    auto rule = [&]() {
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << "+" << std::string(width[c] + 2, '-');
+        os << "+\n";
+    };
+
+    if (!title.empty())
+        os << title << "\n";
+    rule();
+    print_row(header);
+    rule();
+    for (const auto &row : rows)
+        print_row(row);
+    rule();
+}
+
+namespace {
+
+/** Quote a CSV cell if it contains separators or quotes. */
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+bool
+TextTable::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open '", path, "' for CSV output");
+        return false;
+    }
+    auto write_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            out << csvEscape(row[c]);
+        }
+        out << '\n';
+    };
+    write_row(header);
+    for (const auto &row : rows)
+        write_row(row);
+    return static_cast<bool>(out);
+}
+
+} // namespace recshard

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters for experiment reports.
+ *
+ * Every bench binary renders its paper table/figure through TextTable
+ * so the console output lines up, and optionally mirrors the rows to
+ * CSV for plotting.
+ */
+
+#ifndef RECSHARD_BASE_TABLE_HH
+#define RECSHARD_BASE_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace recshard {
+
+/** Fixed-precision double-to-string helper ("%.*f"). */
+std::string fmtDouble(double v, int precision = 2);
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage: construct with column headers, addRow() repeatedly, then
+ * print(). Numeric cells should be pre-formatted (see fmtDouble).
+ */
+class TextTable
+{
+  public:
+    /** Construct with the header row. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns to the given stream. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Write header + rows to a CSV file; returns success. */
+    bool writeCsv(const std::string &path) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_BASE_TABLE_HH

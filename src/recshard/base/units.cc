@@ -1,0 +1,50 @@
+#include "recshard/base/units.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace recshard {
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const std::array<const char *, 5> suffix = {
+        "B", "KiB", "MiB", "GiB", "TiB"
+    };
+    double value = static_cast<double>(bytes);
+    std::size_t idx = 0;
+    while (value >= 1024.0 && idx + 1 < suffix.size()) {
+        value /= 1024.0;
+        ++idx;
+    }
+    char buf[48];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix[idx]);
+    return buf;
+}
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.1f GB/s", bytes_per_sec / GBps);
+    return buf;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[48];
+    if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    return buf;
+}
+
+} // namespace recshard

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Byte and bandwidth units used by the memory-system model.
+ *
+ * Capacities are tracked as 64-bit byte counts; bandwidths as doubles
+ * in bytes per second. Helper formatters render human-readable values
+ * for reports.
+ */
+
+#ifndef RECSHARD_BASE_UNITS_HH
+#define RECSHARD_BASE_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace recshard {
+
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+/** Decimal gigabytes, as used in the paper's capacity figures. */
+constexpr std::uint64_t GB = 1000ULL * 1000ULL * 1000ULL;
+
+/** Bandwidth: decimal gigabytes per second expressed in bytes/s. */
+constexpr double GBps = 1e9;
+
+/** Render a byte count as, e.g., "1.24 GiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Render a byte/s bandwidth as, e.g., "1555.0 GB/s". */
+std::string formatBandwidth(double bytes_per_sec);
+
+/** Render seconds as ms/us/s with sensible precision. */
+std::string formatSeconds(double seconds);
+
+} // namespace recshard
+
+#endif // RECSHARD_BASE_UNITS_HH

@@ -1,0 +1,135 @@
+#include "recshard/core/pipeline.hh"
+
+#include <chrono>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+RecShardPipeline::RecShardPipeline(const SyntheticDataset &data_,
+                                   const SystemSpec &system_,
+                                   PipelineOptions options)
+    : data(data_), sys(system_), opts(options)
+{
+    sys.validate();
+    fatal_if(opts.profileSamples == 0,
+             "pipeline needs a non-zero profiling sample");
+}
+
+PipelineResult
+RecShardPipeline::run() const
+{
+    using Clock = std::chrono::steady_clock;
+    PipelineResult result;
+
+    // Phase 1: training-data profiling (Section 4.1).
+    auto t0 = Clock::now();
+    result.profiles = profileDataset(data, opts.profileSamples,
+                                     opts.profileBatchSize);
+    result.profileSeconds = secondsSince(t0);
+
+    // Phase 2: partitioning and placement (Section 4.2).
+    t0 = Clock::now();
+    if (opts.useExactMilp) {
+        const MilpShardResult exact = milpShardPlan(
+            data.spec(), result.profiles, sys, opts.milp);
+        fatal_if(!exact.feasible,
+                 "exact MILP found no feasible sharding (status ",
+                 lpStatusName(exact.milp.status), ")");
+        result.plan = exact.plan;
+        result.milpStats = exact.milp;
+    } else {
+        result.plan = recShardPlan(data.spec(), result.profiles, sys,
+                                   opts.solver, &result.solverStats);
+    }
+    result.solveSeconds = secondsSince(t0);
+
+    // Phase 3: remapping artifacts (Section 4.3).
+    t0 = Clock::now();
+    result.resolvers = ExecutionEngine::buildResolvers(
+        data.spec(), result.plan, result.profiles);
+    for (std::size_t j = 0; j < result.plan.tables.size(); ++j) {
+        const auto rows = result.plan.tables[j].hbmRows;
+        const auto hash_size = data.spec().features[j].hashSize;
+        if (rows > 0 && rows < hash_size)
+            result.remapStorageBytes += hash_size * 4;
+    }
+    result.remapSeconds = secondsSince(t0);
+    return result;
+}
+
+double
+planCostUnderProfiles(const ModelSpec &model, const ShardingPlan &plan,
+                      const std::vector<EmbProfile> &profiles,
+                      const SystemSpec &system, std::uint32_t batch,
+                      const std::vector<TierResolver> *resolvers)
+{
+    fatal_if(plan.tables.size() != model.features.size(),
+             "plan/model mismatch");
+    fatal_if(profiles.size() != model.features.size(),
+             "profiles/model mismatch");
+    const EmbCostModel cost(system);
+
+    std::vector<double> gpu_cost(system.numGpus, 0.0);
+    for (std::size_t j = 0; j < plan.tables.size(); ++j) {
+        const auto &f = model.features[j];
+        const auto &p = profiles[j];
+        double pct;
+        if (resolvers) {
+            // Honest fraction: how many of the profile's accesses
+            // land on rows the plan actually pinned in HBM.
+            const auto &ranked = p.cdf.rankedRows();
+            std::uint64_t hot_accesses = 0;
+            for (std::uint64_t r = 0; r < ranked.size(); ++r)
+                if ((*resolvers)[j].inHbm(ranked[r]))
+                    hot_accesses += p.cdf.countAtRank(r);
+            pct = p.cdf.totalAccesses()
+                ? static_cast<double>(hot_accesses) /
+                      static_cast<double>(p.cdf.totalAccesses())
+                : 1.0;
+        } else {
+            pct = p.cdf.accessFraction(plan.tables[j].hbmRows);
+        }
+        gpu_cost[plan.tables[j].gpu] += p.coverage *
+            cost.estimatedEmbCost(f, p.avgPool, pct, batch);
+    }
+    double worst = 0.0;
+    for (const double c : gpu_cost)
+        worst = std::max(worst, c);
+    return worst;
+}
+
+ReshardAssessment
+assessReshard(const ModelSpec &model,
+              const std::vector<EmbProfile> &fresh_profiles,
+              const SystemSpec &system, const ShardingPlan &incumbent,
+              const std::vector<TierResolver> &incumbent_resolvers,
+              const RecShardOptions &solver_options)
+{
+    ReshardAssessment out;
+    out.incumbentCost = planCostUnderProfiles(
+        model, incumbent, fresh_profiles, system,
+        solver_options.batchSize, &incumbent_resolvers);
+    out.freshPlan = recShardPlan(model, fresh_profiles, system,
+                                 solver_options);
+    out.freshCost = planCostUnderProfiles(
+        model, out.freshPlan, fresh_profiles, system,
+        solver_options.batchSize);
+    out.speedup = out.freshCost > 0.0
+        ? out.incumbentCost / out.freshCost : 1.0;
+    return out;
+}
+
+} // namespace recshard

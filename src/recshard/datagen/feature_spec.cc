@@ -1,0 +1,60 @@
+#include "recshard/datagen/feature_spec.hh"
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+std::uint64_t
+ModelSpec::totalHashRows() const
+{
+    std::uint64_t total = 0;
+    for (const auto &f : features)
+        total += f.hashSize;
+    return total;
+}
+
+std::uint64_t
+ModelSpec::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &f : features)
+        total += f.tableBytes();
+    return total;
+}
+
+double
+ModelSpec::expectedAccessesPerSample() const
+{
+    double total = 0.0;
+    for (const auto &f : features)
+        total += f.expectedAccessesPerSample();
+    return total;
+}
+
+void
+ModelSpec::validate() const
+{
+    fatal_if(features.empty(), "model '", name, "' has no features");
+    for (const auto &f : features) {
+        fatal_if(f.hashSize == 0,
+                 "feature '", f.name, "' has zero hash size");
+        fatal_if(f.cardinality == 0,
+                 "feature '", f.name, "' has zero cardinality");
+        fatal_if(f.dim == 0, "feature '", f.name, "' has zero dim");
+        fatal_if(f.bytesPerElement == 0,
+                 "feature '", f.name, "' has zero element size");
+        fatal_if(f.coverage < 0.0 || f.coverage > 1.0,
+                 "feature '", f.name, "' coverage ", f.coverage,
+                 " outside [0,1]");
+        fatal_if(f.meanPool <= 0.0,
+                 "feature '", f.name, "' mean pooling factor must be "
+                 "positive");
+        fatal_if(f.alpha < 0.0,
+                 "feature '", f.name, "' Zipf alpha must be >= 0");
+        fatal_if(f.maxPool == 0,
+                 "feature '", f.name, "' max pooling factor must be "
+                 ">= 1");
+    }
+}
+
+} // namespace recshard

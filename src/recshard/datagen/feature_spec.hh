@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sparse-feature and model specifications.
+ *
+ * A FeatureSpec captures everything RecShard's workload model needs
+ * to know about one sparse feature and its embedding table: the raw
+ * categorical space (cardinality), the EMB hash size, the value
+ * skew (Zipf alpha, Section 3.1), the pooling-factor distribution
+ * (Section 3.2), coverage (Section 3.3), and the EMB geometry
+ * (dimension, element bytes). A ModelSpec is an ordered set of
+ * features — one EMB each — mirroring the paper's RM1/RM2/RM3.
+ */
+
+#ifndef RECSHARD_DATAGEN_FEATURE_SPEC_HH
+#define RECSHARD_DATAGEN_FEATURE_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recshard {
+
+/** Feature family, used by the temporal drift model (Fig. 9). */
+enum class FeatureKind { User, Content };
+
+/** Static description of one sparse feature and its EMB. */
+struct FeatureSpec
+{
+    std::string name;
+    FeatureKind kind = FeatureKind::User;
+    std::uint64_t cardinality = 0; //!< raw categorical space size
+    std::uint64_t hashSize = 0;    //!< EMB rows (post-hash space)
+    std::uint64_t hashSalt = 0;    //!< per-EMB hash salt
+    double alpha = 1.0;            //!< Zipf skew of raw values
+    double meanPool = 1.0;         //!< target average pooling factor
+    double poolSigma = 0.5;        //!< pooling tail weight
+    std::uint32_t maxPool = 200;   //!< per-sample pooling cap
+    double coverage = 1.0;         //!< P(feature present in sample)
+    std::uint32_t dim = 64;        //!< embedding dimension
+    std::uint32_t bytesPerElement = 4; //!< fp32
+
+    /** Bytes of one embedding row. */
+    std::uint64_t rowBytes() const
+    {
+        return static_cast<std::uint64_t>(dim) * bytesPerElement;
+    }
+
+    /** Bytes of the full EMB (Constraint 8 of the MILP). */
+    std::uint64_t tableBytes() const { return hashSize * rowBytes(); }
+
+    /**
+     * Expected embedding-row accesses this feature contributes to
+     * one training sample: coverage * average pooling factor.
+     */
+    double expectedAccessesPerSample() const
+    {
+        return coverage * meanPool;
+    }
+};
+
+/** A DLRM's sparse side: one EMB per feature. */
+struct ModelSpec
+{
+    std::string name;
+    std::vector<FeatureSpec> features;
+
+    std::uint32_t numFeatures() const
+    {
+        return static_cast<std::uint32_t>(features.size());
+    }
+
+    /** Sum of hash sizes (Table 2 "Total Hash Size"). */
+    std::uint64_t totalHashRows() const;
+
+    /** Total EMB bytes (Table 2 "Size"). */
+    std::uint64_t totalBytes() const;
+
+    /** Expected EMB rows accessed per training sample (Fig. 1b). */
+    double expectedAccessesPerSample() const;
+
+    /** Validate invariants; fatal() on violation. */
+    void validate() const;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_DATAGEN_FEATURE_SPEC_HH

@@ -1,0 +1,214 @@
+#include "recshard/datagen/model_zoo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+#include "recshard/base/random.hh"
+
+namespace recshard {
+
+namespace {
+
+/**
+ * Scale every table's hash size by `factor` and then nudge the
+ * largest table so the total lands exactly on `target_total`.
+ */
+void
+rescaleToTotal(ModelSpec &model, double factor,
+               std::uint64_t target_total, std::uint64_t min_rows)
+{
+    std::size_t largest = 0;
+    for (std::size_t i = 0; i < model.features.size(); ++i) {
+        auto &f = model.features[i];
+        f.hashSize = std::max<std::uint64_t>(
+            min_rows,
+            static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(f.hashSize) *
+                             factor)));
+        if (f.hashSize > model.features[largest].hashSize)
+            largest = i;
+    }
+    const std::uint64_t total = model.totalHashRows();
+    auto &big = model.features[largest];
+    if (total > target_total) {
+        const std::uint64_t excess = total - target_total;
+        fatal_if(big.hashSize <= excess + min_rows,
+                 "cannot absorb rounding residual of ", excess,
+                 " rows in the largest table");
+        big.hashSize -= excess;
+    } else {
+        big.hashSize += target_total - total;
+    }
+}
+
+} // namespace
+
+ModelSpec
+makeProductionModel(const std::string &name, const ModelRecipe &recipe)
+{
+    fatal_if(recipe.numFeatures == 0, "model needs features");
+    fatal_if(recipe.rowScale <= 0.0 || recipe.rowScale > 1.0,
+             "row scale must be in (0, 1], got ", recipe.rowScale);
+
+    Rng rng(recipe.seed);
+    ModelSpec model;
+    model.name = name;
+    model.features.reserve(recipe.numFeatures);
+
+    for (std::uint32_t i = 0; i < recipe.numFeatures; ++i) {
+        FeatureSpec f;
+        f.name = name + "/f" + std::to_string(i);
+        f.kind = rng.bernoulli(0.5) ? FeatureKind::User
+                                    : FeatureKind::Content;
+        f.dim = recipe.dim;
+        f.bytesPerElement = 4;
+        f.hashSalt = recipe.seed * 1315423911ULL + i;
+
+        // Cardinality: log-uniform over ~4.5 decades (Fig. 4
+        // x-axis). The top is capped so that no single EMB out-
+        // sizes one GPU's HBM budget — the paper's whole-table
+        // baselines can place every RM1/RM2 table in HBM, which
+        // bounds the largest table by the 24 GB per-GPU reservation.
+        const double log_card = rng.uniform(std::log(1e3),
+                                            std::log(2.5e7));
+        f.cardinality =
+            static_cast<std::uint64_t>(std::exp(log_card));
+
+        // Hash size: cardinality times a log-uniform ratio; the
+        // whole-model normalization below preserves the ratio
+        // distribution (Fig. 4 scatter shape).
+        const double ratio = std::exp(rng.uniform(std::log(0.25),
+                                                  std::log(4.0)));
+        f.hashSize = static_cast<std::uint64_t>(
+            std::max(64.0,
+                     static_cast<double>(f.cardinality) * ratio));
+
+        // Value skew: most features are power laws of varying
+        // strength; a handful are near-uniform (Fig. 5).
+        f.alpha = rng.bernoulli(0.1) ? rng.uniform(0.05, 0.3)
+                                     : rng.uniform(0.5, 1.6);
+
+        // Pooling factor: averages span ~1 to ~200 with most mass
+        // at a few tens (Fig. 6a). Pooling correlates with the
+        // categorical space: single-valued demographics (country)
+        // have tiny cardinalities while multi-hot history features
+        // (pages viewed) have huge ones (Section 3.2's examples),
+        // so the log-pooling draw mixes the cardinality rank with
+        // independent noise.
+        const double card_norm = (log_card - std::log(1e3)) /
+            (std::log(2.5e7) - std::log(1e3));
+        const double pool_mix = std::clamp(
+            0.6 * card_norm + 0.4 * rng.nextDouble(), 0.0, 1.0);
+        f.meanPool = std::exp(pool_mix * std::log(200.0));
+        f.poolSigma = rng.uniform(0.3, 1.2);
+        f.maxPool = static_cast<std::uint32_t>(
+            std::clamp(f.meanPool * 8.0, 10.0, 600.0));
+
+        // Coverage: wide spread, with mass at 100% and below 5%
+        // (Fig. 6b).
+        if (rng.bernoulli(0.25))
+            f.coverage = 1.0;
+        else if (rng.bernoulli(0.2))
+            f.coverage = rng.uniform(0.003, 0.05);
+        else
+            f.coverage = rng.uniform(0.05, 1.0);
+
+        model.features.push_back(f);
+    }
+
+    // Normalize cardinalities and hash sizes jointly so the total
+    // hash size hits the target while the Fig. 4 scatter shape is
+    // unchanged, then nail the total exactly.
+    const double raw_total =
+        static_cast<double>(model.totalHashRows());
+    const double target =
+        static_cast<double>(recipe.totalHashRows) * recipe.rowScale;
+    const double factor = target / raw_total;
+    for (auto &f : model.features) {
+        f.cardinality = std::max<std::uint64_t>(
+            32, static_cast<std::uint64_t>(
+                    static_cast<double>(f.cardinality) * factor));
+    }
+    rescaleToTotal(model, factor,
+                   static_cast<std::uint64_t>(std::llround(target)),
+                   recipe.minHashSize);
+
+    model.validate();
+    return model;
+}
+
+namespace {
+
+/**
+ * Build RM2/RM3 from RM1 by scaling per-EMB hash sizes, keeping the
+ * feature statistics identical (the paper scales only hash sizes
+ * between the RMs).
+ */
+ModelSpec
+scaleRm1(const std::string &name, double row_scale,
+         std::uint64_t target_rows)
+{
+    ModelSpec model = makeRm1(row_scale);
+    model.name = name;
+    const double factor = static_cast<double>(target_rows) /
+        static_cast<double>(kRm1TotalRows);
+    const auto target = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(target_rows) * row_scale));
+    rescaleToTotal(model, factor, target, 64);
+    for (auto &f : model.features) {
+        const auto slash = f.name.find('/');
+        f.name = name + f.name.substr(slash);
+    }
+    model.validate();
+    return model;
+}
+
+} // namespace
+
+ModelSpec
+makeRm1(double row_scale)
+{
+    ModelRecipe recipe;
+    recipe.rowScale = row_scale;
+    return makeProductionModel("RM1", recipe);
+}
+
+ModelSpec
+makeRm2(double row_scale)
+{
+    return scaleRm1("RM2", row_scale, kRm2TotalRows);
+}
+
+ModelSpec
+makeRm3(double row_scale)
+{
+    return scaleRm1("RM3", row_scale, kRm3TotalRows);
+}
+
+ModelSpec
+makeRmByName(const std::string &name, double row_scale)
+{
+    if (name == "rm1" || name == "RM1")
+        return makeRm1(row_scale);
+    if (name == "rm2" || name == "RM2")
+        return makeRm2(row_scale);
+    if (name == "rm3" || name == "RM3")
+        return makeRm3(row_scale);
+    fatal("unknown model '", name, "' (expected rm1, rm2, or rm3)");
+}
+
+ModelSpec
+makeTinyModel(std::uint32_t num_features, std::uint64_t rows_per_table,
+              std::uint64_t seed)
+{
+    ModelRecipe recipe;
+    recipe.numFeatures = num_features;
+    recipe.totalHashRows = rows_per_table * num_features;
+    recipe.dim = 8;
+    recipe.seed = seed;
+    recipe.minHashSize = 16;
+    return makeProductionModel("tiny", recipe);
+}
+
+} // namespace recshard

@@ -1,0 +1,80 @@
+#include "recshard/dlrm/embedding.hh"
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+EmbeddingBag::EmbeddingBag(std::uint64_t rows, std::uint32_t dim,
+                           Rng &rng)
+    : numRows(rows), dimV(dim)
+{
+    fatal_if(rows == 0 || dim == 0, "degenerate embedding table");
+    table.resize(rows * dim);
+    for (auto &v : table)
+        v = static_cast<float>(rng.gaussian(0.0, 0.01));
+}
+
+std::vector<float>
+EmbeddingBag::forward(const FeatureBatch &batch)
+{
+    const std::uint32_t n = batch.batchSize();
+    std::vector<float> out(static_cast<std::size_t>(n) * dimV, 0.0f);
+    for (std::uint32_t s = 0; s < n; ++s) {
+        float *dst = &out[static_cast<std::size_t>(s) * dimV];
+        for (std::uint32_t k = batch.offsets[s];
+             k < batch.offsets[s + 1]; ++k) {
+            const std::uint64_t row = batch.indices[k];
+            panic_if(row >= numRows, "lookup row ", row,
+                     " outside table of ", numRows, " rows");
+            const float *src = &table[row * dimV];
+            for (std::uint32_t d = 0; d < dimV; ++d)
+                dst[d] += src[d];
+        }
+    }
+    lastBatch = batch;
+    return out;
+}
+
+void
+EmbeddingBag::backwardSgd(const std::vector<float> &grad_out, float lr)
+{
+    const std::uint32_t n = lastBatch.batchSize();
+    panic_if(grad_out.size() != static_cast<std::size_t>(n) * dimV,
+             "embedding backward size mismatch");
+    for (std::uint32_t s = 0; s < n; ++s) {
+        const float *g = &grad_out[static_cast<std::size_t>(s) *
+                                   dimV];
+        for (std::uint32_t k = lastBatch.offsets[s];
+             k < lastBatch.offsets[s + 1]; ++k) {
+            float *dst = &table[lastBatch.indices[k] * dimV];
+            for (std::uint32_t d = 0; d < dimV; ++d)
+                dst[d] -= lr * g[d];
+        }
+    }
+}
+
+void
+EmbeddingBag::applyRemap(const RemapTable &remap)
+{
+    fatal_if(remap.numRows() != numRows,
+             "remap table covers ", remap.numRows(),
+             " rows, embedding has ", numRows);
+    std::vector<float> reordered(table.size());
+    for (std::uint64_t r = 0; r < numRows; ++r) {
+        const RemappedRow dst = remap.lookup(r);
+        const std::uint64_t unified = dst.inHbm
+            ? dst.slot : remap.hbmRows() + dst.slot;
+        for (std::uint32_t d = 0; d < dimV; ++d)
+            reordered[unified * dimV + d] = table[r * dimV + d];
+    }
+    table = std::move(reordered);
+}
+
+const float *
+EmbeddingBag::row(std::uint64_t r) const
+{
+    panic_if(r >= numRows, "row ", r, " out of range");
+    return &table[r * dimV];
+}
+
+} // namespace recshard

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Embedding-bag tables with sum pooling and sparse SGD.
+ *
+ * The functional core of the DLRM sparse path (paper Fig. 3): raw
+ * categorical ids are hashed to rows, the rows are gathered and
+ * sum-pooled per sample, and gradients flow back only to the rows
+ * that were touched. The storage layout is remap-aware: a table can
+ * be constructed over a RemapTable so that its physical row order
+ * matches the HBM/UVM partitions RecShard chose, which lets tests
+ * prove the remapping layer is functionally invisible to training.
+ */
+
+#ifndef RECSHARD_DLRM_EMBEDDING_HH
+#define RECSHARD_DLRM_EMBEDDING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/base/random.hh"
+#include "recshard/datagen/dataset.hh"
+#include "recshard/remap/remap_table.hh"
+
+namespace recshard {
+
+/** One EMB with sum pooling. */
+class EmbeddingBag
+{
+  public:
+    /**
+     * @param rows Table rows (the feature's hash size).
+     * @param dim  Embedding dimension.
+     * @param rng  Initialization source (N(0, 0.01)).
+     */
+    EmbeddingBag(std::uint64_t rows, std::uint32_t dim, Rng &rng);
+
+    /**
+     * Gather + sum-pool one feature batch.
+     *
+     * @param batch CSR lookups (absent samples yield zero vectors,
+     *              as in the paper's Fig. 3 NULL case).
+     * @return Row-major [batch x dim] pooled output.
+     */
+    std::vector<float> forward(const FeatureBatch &batch);
+
+    /**
+     * Scatter gradients back to the rows touched by the cached
+     * forward and apply SGD immediately (sparse update).
+     *
+     * @param grad_out [batch x dim] upstream gradient.
+     * @param lr       Learning rate.
+     */
+    void backwardSgd(const std::vector<float> &grad_out, float lr);
+
+    /**
+     * Physically reorder rows according to a remap table (row r
+     * moves to its remapped unified index). Training behaviour is
+     * unchanged when lookups are remapped consistently.
+     */
+    void applyRemap(const RemapTable &remap);
+
+    /** Direct row read (tests). */
+    const float *row(std::uint64_t r) const;
+
+    std::uint64_t rows() const { return numRows; }
+    std::uint32_t dim() const { return dimV; }
+
+  private:
+    std::uint64_t numRows;
+    std::uint32_t dimV;
+    std::vector<float> table; //!< [rows x dim]
+    FeatureBatch lastBatch;   //!< cached lookups for backward
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_DLRM_EMBEDDING_HH

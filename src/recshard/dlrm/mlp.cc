@@ -1,0 +1,141 @@
+#include "recshard/dlrm/mlp.hh"
+
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+DenseLayer::DenseLayer(std::uint32_t in, std::uint32_t out, bool relu,
+                       Rng &rng)
+    : inDim(in), outDim(out), useRelu(relu)
+{
+    fatal_if(in == 0 || out == 0, "degenerate layer ", in, "x", out);
+    weight.resize(static_cast<std::size_t>(in) * out);
+    bias.assign(out, 0.0f);
+    gradW.assign(weight.size(), 0.0f);
+    gradB.assign(out, 0.0f);
+    // Xavier-uniform.
+    const double limit = std::sqrt(6.0 / (in + out));
+    for (auto &w : weight)
+        w = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+std::vector<float>
+DenseLayer::forward(const std::vector<float> &x, std::uint32_t batch)
+{
+    panic_if(x.size() != static_cast<std::size_t>(batch) * inDim,
+             "forward input size mismatch");
+    lastIn = x;
+    std::vector<float> y(static_cast<std::size_t>(batch) * outDim);
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        const float *xi = &x[static_cast<std::size_t>(b) * inDim];
+        float *yo = &y[static_cast<std::size_t>(b) * outDim];
+        for (std::uint32_t o = 0; o < outDim; ++o) {
+            const float *wr =
+                &weight[static_cast<std::size_t>(o) * inDim];
+            float acc = bias[o];
+            for (std::uint32_t i = 0; i < inDim; ++i)
+                acc += wr[i] * xi[i];
+            yo[o] = useRelu && acc < 0.0f ? 0.0f : acc;
+        }
+    }
+    lastOut = y;
+    return y;
+}
+
+std::vector<float>
+DenseLayer::backward(const std::vector<float> &grad_out,
+                     std::uint32_t batch)
+{
+    panic_if(grad_out.size() !=
+             static_cast<std::size_t>(batch) * outDim,
+             "backward grad size mismatch");
+    panic_if(lastIn.size() != static_cast<std::size_t>(batch) * inDim,
+             "backward without a matching forward");
+    std::vector<float> grad_in(
+        static_cast<std::size_t>(batch) * inDim, 0.0f);
+    for (std::uint32_t b = 0; b < batch; ++b) {
+        const float *xi =
+            &lastIn[static_cast<std::size_t>(b) * inDim];
+        const float *yo =
+            &lastOut[static_cast<std::size_t>(b) * outDim];
+        const float *go =
+            &grad_out[static_cast<std::size_t>(b) * outDim];
+        float *gi = &grad_in[static_cast<std::size_t>(b) * inDim];
+        for (std::uint32_t o = 0; o < outDim; ++o) {
+            // ReLU gate: zero activation blocks the gradient.
+            const float g = useRelu && yo[o] <= 0.0f ? 0.0f : go[o];
+            if (g == 0.0f)
+                continue;
+            float *gw = &gradW[static_cast<std::size_t>(o) * inDim];
+            const float *wr =
+                &weight[static_cast<std::size_t>(o) * inDim];
+            gradB[o] += g;
+            for (std::uint32_t i = 0; i < inDim; ++i) {
+                gw[i] += g * xi[i];
+                gi[i] += g * wr[i];
+            }
+        }
+    }
+    return grad_in;
+}
+
+void
+DenseLayer::sgdStep(float lr)
+{
+    for (std::size_t i = 0; i < weight.size(); ++i)
+        weight[i] -= lr * gradW[i];
+    for (std::size_t o = 0; o < bias.size(); ++o)
+        bias[o] -= lr * gradB[o];
+    std::fill(gradW.begin(), gradW.end(), 0.0f);
+    std::fill(gradB.begin(), gradB.end(), 0.0f);
+}
+
+Mlp::Mlp(const std::vector<std::uint32_t> &dims, Rng &rng)
+{
+    fatal_if(dims.size() < 2, "an MLP needs at least two dims");
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+        const bool relu = l + 2 < dims.size();
+        layers.emplace_back(dims[l], dims[l + 1], relu, rng);
+    }
+}
+
+std::vector<float>
+Mlp::forward(const std::vector<float> &x, std::uint32_t batch)
+{
+    std::vector<float> h = x;
+    for (auto &layer : layers)
+        h = layer.forward(h, batch);
+    return h;
+}
+
+std::vector<float>
+Mlp::backward(const std::vector<float> &grad_out, std::uint32_t batch)
+{
+    std::vector<float> g = grad_out;
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it)
+        g = it->backward(g, batch);
+    return g;
+}
+
+void
+Mlp::sgdStep(float lr)
+{
+    for (auto &layer : layers)
+        layer.sgdStep(lr);
+}
+
+std::uint32_t
+Mlp::inputDim() const
+{
+    return layers.front().inputDim();
+}
+
+std::uint32_t
+Mlp::outputDim() const
+{
+    return layers.back().outputDim();
+}
+
+} // namespace recshard

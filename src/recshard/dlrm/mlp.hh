@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal-but-real multi-layer perceptron with manual backprop.
+ *
+ * The DLRM architecture (paper Fig. 2) surrounds its embedding
+ * tables with a bottom MLP (dense features) and a top MLP (post-
+ * interaction). This implementation supports forward, backward, and
+ * SGD on row-major float buffers — no autograd framework, matching
+ * the repository's from-scratch substrate rule.
+ */
+
+#ifndef RECSHARD_DLRM_MLP_HH
+#define RECSHARD_DLRM_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/base/random.hh"
+
+namespace recshard {
+
+/** One fully connected layer (optionally ReLU-activated). */
+class DenseLayer
+{
+  public:
+    /**
+     * @param in   Input width.
+     * @param out  Output width.
+     * @param relu Apply ReLU after the affine transform.
+     * @param rng  Xavier-uniform initialization source.
+     */
+    DenseLayer(std::uint32_t in, std::uint32_t out, bool relu,
+               Rng &rng);
+
+    /**
+     * Forward pass; caches inputs/activations for backward().
+     *
+     * @param x Row-major [batch x in].
+     * @return  Row-major [batch x out].
+     */
+    std::vector<float> forward(const std::vector<float> &x,
+                               std::uint32_t batch);
+
+    /**
+     * Backward pass from the cached forward.
+     *
+     * @param grad_out d(loss)/d(output), [batch x out].
+     * @return d(loss)/d(input), [batch x in].
+     */
+    std::vector<float> backward(const std::vector<float> &grad_out,
+                                std::uint32_t batch);
+
+    /** Apply the accumulated gradients with SGD and clear them. */
+    void sgdStep(float lr);
+
+    std::uint32_t inputDim() const { return inDim; }
+    std::uint32_t outputDim() const { return outDim; }
+
+  private:
+    std::uint32_t inDim;
+    std::uint32_t outDim;
+    bool useRelu;
+    std::vector<float> weight;  //!< [out x in]
+    std::vector<float> bias;    //!< [out]
+    std::vector<float> gradW;
+    std::vector<float> gradB;
+    std::vector<float> lastIn;  //!< cached input
+    std::vector<float> lastOut; //!< cached post-activation output
+};
+
+/** A stack of DenseLayers: ReLU on hidden, linear final layer. */
+class Mlp
+{
+  public:
+    /**
+     * @param dims Layer widths, e.g. {13, 64, 32}: two layers
+     *             13->64 (ReLU) and 64->32 (linear).
+     * @param rng  Initialization source.
+     */
+    Mlp(const std::vector<std::uint32_t> &dims, Rng &rng);
+
+    std::vector<float> forward(const std::vector<float> &x,
+                               std::uint32_t batch);
+    std::vector<float> backward(const std::vector<float> &grad_out,
+                                std::uint32_t batch);
+    void sgdStep(float lr);
+
+    std::uint32_t inputDim() const;
+    std::uint32_t outputDim() const;
+
+  private:
+    std::vector<DenseLayer> layers;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_DLRM_MLP_HH

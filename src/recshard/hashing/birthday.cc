@@ -1,0 +1,80 @@
+#include "recshard/hashing/birthday.hh"
+
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+double
+expectedOccupiedSlots(double n_distinct, double hash_size)
+{
+    fatal_if(hash_size < 1.0, "hash size must be >= 1");
+    if (n_distinct <= 0.0)
+        return 0.0;
+    // H * (1 - (1 - 1/H)^N), evaluated in log space for stability
+    // with the billion-scale sizes DLRMs use.
+    const double log_miss = n_distinct * std::log1p(-1.0 / hash_size);
+    return hash_size * -std::expm1(log_miss);
+}
+
+double
+expectedUnusedFraction(double n_distinct, double hash_size)
+{
+    return 1.0 - expectedOccupiedSlots(n_distinct, hash_size) /
+        hash_size;
+}
+
+double
+expectedCollidedFraction(double n_distinct, double hash_size)
+{
+    if (n_distinct <= 0.0)
+        return 0.0;
+    return 1.0 - expectedOccupiedSlots(n_distinct, hash_size) /
+        n_distinct;
+}
+
+double
+HashUsage::usageFraction() const
+{
+    return hashSize ? static_cast<double>(usedSlots) /
+        static_cast<double>(hashSize) : 0.0;
+}
+
+double
+HashUsage::sparsityFraction() const
+{
+    return 1.0 - usageFraction();
+}
+
+double
+HashUsage::collisionFraction() const
+{
+    return distinctValues
+        ? 1.0 - static_cast<double>(usedSlots) /
+              static_cast<double>(distinctValues)
+        : 0.0;
+}
+
+HashUsage
+measureHashUsage(std::uint64_t n_distinct, const FeatureHasher &hasher)
+{
+    HashUsage usage;
+    usage.hashSize = hasher.hashSize();
+    usage.distinctValues = n_distinct;
+
+    std::vector<bool> occupied(hasher.hashSize(), false);
+    std::uint64_t used = 0;
+    for (std::uint64_t value = 0; value < n_distinct; ++value) {
+        const std::uint64_t slot = hasher(value);
+        if (!occupied[slot]) {
+            occupied[slot] = true;
+            ++used;
+        }
+    }
+    usage.usedSlots = used;
+    usage.collidedValues = n_distinct - used;
+    return usage;
+}
+
+} // namespace recshard

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Birthday-paradox occupancy analytics for hashed embedding tables.
+ *
+ * Hashing N distinct raw values into H slots leaves slots unused:
+ * with H == N roughly 1/e of slots stay empty (paper Section 3.4,
+ * Figs. 7 and 8). These helpers provide both the closed-form
+ * expectation and an empirical measurement, which RecShard exploits
+ * to reclaim never-accessed EMB rows.
+ */
+
+#ifndef RECSHARD_HASHING_BIRTHDAY_HH
+#define RECSHARD_HASHING_BIRTHDAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/hashing/hashers.hh"
+
+namespace recshard {
+
+/**
+ * Expected number of occupied slots when hashing n_distinct values
+ * uniformly into hash_size slots: H * (1 - (1 - 1/H)^N).
+ */
+double expectedOccupiedSlots(double n_distinct, double hash_size);
+
+/** Expected fraction of the hash space left unused. */
+double expectedUnusedFraction(double n_distinct, double hash_size);
+
+/**
+ * Expected fraction of input values that collide with some other
+ * value (i.e. share a slot): 1 - occupied / N.
+ */
+double expectedCollidedFraction(double n_distinct, double hash_size);
+
+/** Empirical hash-space usage for a set of distinct raw values. */
+struct HashUsage
+{
+    std::uint64_t hashSize = 0;       //!< slots available
+    std::uint64_t distinctValues = 0; //!< distinct raw inputs hashed
+    std::uint64_t usedSlots = 0;      //!< slots with >= 1 value
+    std::uint64_t collidedValues = 0; //!< inputs sharing a slot
+
+    /** usedSlots / hashSize. */
+    double usageFraction() const;
+    /** 1 - usageFraction(). */
+    double sparsityFraction() const;
+    /** collidedValues / distinctValues. */
+    double collisionFraction() const;
+};
+
+/**
+ * Hash the distinct values [0, n_distinct) through the given hasher
+ * and measure slot usage. Raw ids are taken as consecutive integers;
+ * the mixer makes the choice of raw id set irrelevant.
+ */
+HashUsage measureHashUsage(std::uint64_t n_distinct,
+                           const FeatureHasher &hasher);
+
+} // namespace recshard
+
+#endif // RECSHARD_HASHING_BIRTHDAY_HH

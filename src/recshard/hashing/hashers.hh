@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Feature hashing: raw categorical values to embedding-table rows.
+ *
+ * Industry DLRMs bound each EMB to a fixed hash size and hash raw
+ * sparse-feature values into it (paper Section 2). The hash must be
+ * cheap, deterministic, and well mixed; we provide the SplitMix64
+ * and Murmur3 finalizers, both of which are bijective 64-bit mixers
+ * (so collisions come only from the modulo reduction, exactly like a
+ * production random hash).
+ */
+
+#ifndef RECSHARD_HASHING_HASHERS_HH
+#define RECSHARD_HASHING_HASHERS_HH
+
+#include <cstdint>
+
+namespace recshard {
+
+/** SplitMix64 finalizer: bijective 64-bit mix. */
+std::uint64_t mixSplitMix64(std::uint64_t x);
+
+/** Murmur3 fmix64 finalizer: bijective 64-bit mix. */
+std::uint64_t mixMurmur3(std::uint64_t x);
+
+/** Selectable mixer family. */
+enum class HashKind { SplitMix64, Murmur3 };
+
+/**
+ * Hashes raw categorical ids into [0, hash_size).
+ *
+ * A per-table salt decorrelates tables that ingest overlapping raw
+ * id spaces, mirroring independent hash functions per EMB.
+ */
+class FeatureHasher
+{
+  public:
+    /**
+     * @param hash_size Output range (the EMB row count); >= 1.
+     * @param salt      Per-table salt.
+     * @param kind      Mixer family.
+     */
+    FeatureHasher(std::uint64_t hash_size, std::uint64_t salt = 0,
+                  HashKind kind = HashKind::SplitMix64);
+
+    /** Map one raw categorical value to an EMB row. */
+    std::uint64_t operator()(std::uint64_t raw_value) const;
+
+    std::uint64_t hashSize() const { return size; }
+    std::uint64_t salt() const { return saltV; }
+
+  private:
+    std::uint64_t size;
+    std::uint64_t saltV;
+    HashKind kind;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_HASHING_HASHERS_HH

@@ -1,0 +1,48 @@
+#include "recshard/lp/problem.hh"
+
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+int
+LpProblem::addVariable(double lb, double ub, double obj,
+                       std::string name)
+{
+    fatal_if(std::isinf(lb) || std::isnan(lb),
+             "variable lower bound must be finite");
+    fatal_if(std::isnan(ub), "variable upper bound must not be NaN");
+    fatal_if(ub < lb, "variable bounds [", lb, ", ", ub,
+             "] are empty");
+    vars.push_back(Variable{lb, ub, obj, std::move(name)});
+    return numVars() - 1;
+}
+
+void
+LpProblem::addConstraint(std::vector<LinearTerm> terms, Relation rel,
+                         double rhs)
+{
+    for (const auto &term : terms) {
+        panic_if(term.var < 0 || term.var >= numVars(),
+                 "constraint references unknown variable ", term.var);
+    }
+    cons.push_back(Constraint{std::move(terms), rel, rhs});
+}
+
+const LpProblem::Variable &
+LpProblem::variable(int idx) const
+{
+    panic_if(idx < 0 || idx >= numVars(), "bad variable index ", idx);
+    return vars[static_cast<std::size_t>(idx)];
+}
+
+const LpProblem::Constraint &
+LpProblem::constraint(int idx) const
+{
+    panic_if(idx < 0 || idx >= numConstraints(),
+             "bad constraint index ", idx);
+    return cons[static_cast<std::size_t>(idx)];
+}
+
+} // namespace recshard

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Linear-program model container.
+ *
+ * A minimization LP over variables with [lb, ub] bounds and sparse
+ * linear constraints. This is the substrate beneath the MILP
+ * branch-and-bound that solves RecShard's sharding formulation
+ * exactly (the paper uses Gurobi; this repository ships its own
+ * solver so the reproduction is self-contained).
+ */
+
+#ifndef RECSHARD_LP_PROBLEM_HH
+#define RECSHARD_LP_PROBLEM_HH
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace recshard {
+
+/** Constraint sense. */
+enum class Relation { LE, GE, EQ };
+
+/** One coefficient of a sparse linear expression. */
+struct LinearTerm
+{
+    int var;     //!< variable index from LpProblem::addVariable
+    double coef; //!< coefficient
+};
+
+/** Positive infinity for unbounded-above variables. */
+constexpr double kLpInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Sparse minimization LP.
+ *
+ * Build with addVariable()/addConstraint(), then hand to
+ * SimplexSolver (continuous) or MilpSolver (with integrality marks).
+ */
+class LpProblem
+{
+  public:
+    struct Variable
+    {
+        double lb;
+        double ub;
+        double objCoef;
+        std::string name;
+    };
+
+    struct Constraint
+    {
+        std::vector<LinearTerm> terms;
+        Relation rel;
+        double rhs;
+    };
+
+    /**
+     * Add a variable and return its index.
+     *
+     * @param lb  Lower bound (finite).
+     * @param ub  Upper bound (may be kLpInf).
+     * @param obj Objective coefficient (minimized).
+     */
+    int addVariable(double lb, double ub, double obj,
+                    std::string name = "");
+
+    /** Add a constraint over previously added variables. */
+    void addConstraint(std::vector<LinearTerm> terms, Relation rel,
+                       double rhs);
+
+    int numVars() const { return static_cast<int>(vars.size()); }
+    int numConstraints() const
+    {
+        return static_cast<int>(cons.size());
+    }
+
+    const Variable &variable(int idx) const;
+    const Constraint &constraint(int idx) const;
+
+  private:
+    std::vector<Variable> vars;
+    std::vector<Constraint> cons;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_LP_PROBLEM_HH

@@ -1,0 +1,320 @@
+#include "recshard/lp/simplex.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+const char *
+lpStatusName(LpStatus status)
+{
+    switch (status) {
+      case LpStatus::Optimal:    return "optimal";
+      case LpStatus::Infeasible: return "infeasible";
+      case LpStatus::Unbounded:  return "unbounded";
+      case LpStatus::IterLimit:  return "iteration-limit";
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense simplex tableau. Columns: structural variables (shifted to
+ * lower bound zero), then slacks/surpluses, then artificials; the
+ * right-hand side is kept in a separate vector. One extra row holds
+ * the (phase-specific) objective.
+ */
+class Tableau
+{
+  public:
+    int rows = 0; //!< constraint rows
+    int cols = 0; //!< variable columns (no rhs)
+    int firstArtificial = 0;
+    std::vector<double> a;   //!< rows x cols coefficient matrix
+    std::vector<double> rhs; //!< per-row right-hand side
+    std::vector<double> obj; //!< reduced-cost row
+    double objShift = 0.0;   //!< constant added to the objective
+    std::vector<int> basis;  //!< basic column per row
+
+    double &at(int r, int c) { return a[static_cast<std::size_t>(r) *
+                                        cols + c]; }
+    double at(int r, int c) const
+    {
+        return a[static_cast<std::size_t>(r) * cols + c];
+    }
+
+    void
+    pivot(int pr, int pc)
+    {
+        const double pv = at(pr, pc);
+        panic_if(std::abs(pv) < kEps, "pivot on a ~zero element");
+        const double inv = 1.0 / pv;
+        for (int c = 0; c < cols; ++c)
+            at(pr, c) *= inv;
+        rhs[pr] *= inv;
+        at(pr, pc) = 1.0; // cancel round-off on the pivot itself
+
+        for (int r = 0; r < rows; ++r) {
+            if (r == pr)
+                continue;
+            const double factor = at(r, pc);
+            if (factor == 0.0)
+                continue;
+            for (int c = 0; c < cols; ++c)
+                at(r, c) -= factor * at(pr, c);
+            at(r, pc) = 0.0;
+            rhs[r] -= factor * rhs[pr];
+        }
+        const double factor = obj[pc];
+        if (factor != 0.0) {
+            for (int c = 0; c < cols; ++c)
+                obj[c] -= factor * at(pr, c);
+            obj[pc] = 0.0;
+            objShift -= factor * rhs[pr];
+        }
+        basis[pr] = pc;
+    }
+
+    /**
+     * Run primal simplex iterations on the current objective row.
+     * @param allow Column-usable mask (artificials are barred in
+     *              phase 2).
+     * @return Optimal, Unbounded, or IterLimit.
+     */
+    LpStatus
+    iterate(const std::vector<bool> &allow)
+    {
+        const long max_iters =
+            2000L * (rows + cols) + 20000;
+        const long bland_after = 20L * (rows + cols) + 200;
+        for (long iter = 0; iter < max_iters; ++iter) {
+            const bool bland = iter >= bland_after;
+            // --- entering column
+            int pc = -1;
+            double best = -kEps;
+            for (int c = 0; c < cols; ++c) {
+                if (!allow[c])
+                    continue;
+                if (obj[c] < best) {
+                    best = obj[c];
+                    pc = c;
+                    if (bland)
+                        break; // Bland: first improving column
+                }
+            }
+            if (pc < 0)
+                return LpStatus::Optimal;
+            // --- leaving row (ratio test; Bland tie-break)
+            int pr = -1;
+            double best_ratio = 0.0;
+            for (int r = 0; r < rows; ++r) {
+                const double arc = at(r, pc);
+                if (arc <= kEps)
+                    continue;
+                const double ratio = rhs[r] / arc;
+                if (pr < 0 || ratio < best_ratio - kEps ||
+                    (ratio < best_ratio + kEps &&
+                     basis[r] < basis[pr])) {
+                    pr = r;
+                    best_ratio = ratio;
+                }
+            }
+            if (pr < 0)
+                return LpStatus::Unbounded;
+            pivot(pr, pc);
+        }
+        return LpStatus::IterLimit;
+    }
+};
+
+} // namespace
+
+SimplexSolver::SimplexSolver(const LpProblem &problem) : prob(problem)
+{
+}
+
+LpSolution
+SimplexSolver::solve(const std::vector<double> &lb_override,
+                     const std::vector<double> &ub_override) const
+{
+    const int n = prob.numVars();
+    panic_if(!lb_override.empty() &&
+             static_cast<int>(lb_override.size()) != n,
+             "lb override size mismatch");
+    panic_if(!ub_override.empty() &&
+             static_cast<int>(ub_override.size()) != n,
+             "ub override size mismatch");
+
+    std::vector<double> lb(n), ub(n);
+    for (int j = 0; j < n; ++j) {
+        lb[j] = lb_override.empty() ? prob.variable(j).lb
+                                    : lb_override[j];
+        ub[j] = ub_override.empty() ? prob.variable(j).ub
+                                    : ub_override[j];
+        if (ub[j] < lb[j] - kEps)
+            return LpSolution{LpStatus::Infeasible, 0.0, {}};
+    }
+
+    // Count rows: model constraints + one row per finite upper bound.
+    int bound_rows = 0;
+    for (int j = 0; j < n; ++j)
+        if (std::isfinite(ub[j]))
+            ++bound_rows;
+    const int m = prob.numConstraints() + bound_rows;
+
+    // First pass: classify rows to size the tableau.
+    struct RowSpec { std::vector<LinearTerm> terms; Relation rel;
+                     double rhs; };
+    std::vector<RowSpec> rows;
+    rows.reserve(m);
+    for (int i = 0; i < prob.numConstraints(); ++i) {
+        const auto &con = prob.constraint(i);
+        double shift = 0.0;
+        for (const auto &t : con.terms)
+            shift += t.coef * lb[t.var];
+        rows.push_back(RowSpec{con.terms, con.rel, con.rhs - shift});
+    }
+    for (int j = 0; j < n; ++j) {
+        if (std::isfinite(ub[j])) {
+            rows.push_back(RowSpec{{{j, 1.0}}, Relation::LE,
+                                   ub[j] - lb[j]});
+        }
+    }
+    // Normalize all rhs to be non-negative.
+    for (auto &row : rows) {
+        if (row.rhs < 0) {
+            row.rhs = -row.rhs;
+            for (auto &t : row.terms)
+                t.coef = -t.coef;
+            row.rel = row.rel == Relation::LE ? Relation::GE
+                : row.rel == Relation::GE ? Relation::LE
+                : Relation::EQ;
+        }
+    }
+
+    int slack_cols = 0, artificial_cols = 0;
+    for (const auto &row : rows) {
+        if (row.rel != Relation::EQ)
+            ++slack_cols;
+        if (row.rel != Relation::LE)
+            ++artificial_cols;
+    }
+
+    Tableau tab;
+    tab.rows = m;
+    tab.cols = n + slack_cols + artificial_cols;
+    tab.firstArtificial = n + slack_cols;
+    tab.a.assign(static_cast<std::size_t>(tab.rows) * tab.cols, 0.0);
+    tab.rhs.resize(m);
+    tab.basis.assign(m, -1);
+
+    int next_slack = n;
+    int next_art = tab.firstArtificial;
+    for (int r = 0; r < m; ++r) {
+        const auto &row = rows[r];
+        for (const auto &t : row.terms)
+            tab.at(r, t.var) += t.coef;
+        tab.rhs[r] = row.rhs;
+        switch (row.rel) {
+          case Relation::LE:
+            tab.at(r, next_slack) = 1.0;
+            tab.basis[r] = next_slack++;
+            break;
+          case Relation::GE:
+            tab.at(r, next_slack++) = -1.0;
+            tab.at(r, next_art) = 1.0;
+            tab.basis[r] = next_art++;
+            break;
+          case Relation::EQ:
+            tab.at(r, next_art) = 1.0;
+            tab.basis[r] = next_art++;
+            break;
+        }
+    }
+
+    std::vector<bool> allow(tab.cols, true);
+
+    // ---------------- Phase 1: minimize the sum of artificials.
+    if (artificial_cols > 0) {
+        tab.obj.assign(tab.cols, 0.0);
+        tab.objShift = 0.0;
+        for (int c = tab.firstArtificial; c < tab.cols; ++c)
+            tab.obj[c] = 1.0;
+        // Price out the basic artificials.
+        for (int r = 0; r < m; ++r) {
+            if (tab.basis[r] >= tab.firstArtificial) {
+                for (int c = 0; c < tab.cols; ++c)
+                    tab.obj[c] -= tab.at(r, c);
+                tab.objShift -= tab.rhs[r];
+            }
+        }
+        const LpStatus st = tab.iterate(allow);
+        if (st == LpStatus::IterLimit)
+            return LpSolution{st, 0.0, {}};
+        panic_if(st == LpStatus::Unbounded,
+                 "phase-1 objective cannot be unbounded");
+        const double phase1 = -tab.objShift;
+        if (phase1 > 1e-7)
+            return LpSolution{LpStatus::Infeasible, 0.0, {}};
+        // Pivot any remaining (zero-valued) basic artificials out.
+        for (int r = 0; r < tab.rows; ++r) {
+            if (tab.basis[r] < tab.firstArtificial)
+                continue;
+            int pc = -1;
+            for (int c = 0; c < tab.firstArtificial; ++c) {
+                if (std::abs(tab.at(r, c)) > 1e-7) {
+                    pc = c;
+                    break;
+                }
+            }
+            if (pc >= 0) {
+                tab.pivot(r, pc);
+            }
+            // If no eligible column exists the row is redundant and
+            // the artificial stays basic at value zero; barring the
+            // column below keeps it out of phase 2.
+        }
+        for (int c = tab.firstArtificial; c < tab.cols; ++c)
+            allow[c] = false;
+    }
+
+    // ---------------- Phase 2: the real objective.
+    tab.obj.assign(tab.cols, 0.0);
+    tab.objShift = 0.0;
+    for (int j = 0; j < n; ++j)
+        tab.obj[j] = prob.variable(j).objCoef;
+    for (int r = 0; r < m; ++r) {
+        const int b = tab.basis[r];
+        const double cb = b < n ? prob.variable(b).objCoef : 0.0;
+        if (cb != 0.0) {
+            for (int c = 0; c < tab.cols; ++c)
+                tab.obj[c] -= cb * tab.at(r, c);
+            tab.obj[b] = 0.0;
+            tab.objShift -= cb * tab.rhs[r];
+        }
+    }
+    const LpStatus st = tab.iterate(allow);
+    if (st != LpStatus::Optimal)
+        return LpSolution{st, 0.0, {}};
+
+    LpSolution sol;
+    sol.status = LpStatus::Optimal;
+    sol.values.assign(n, 0.0);
+    for (int r = 0; r < m; ++r)
+        if (tab.basis[r] < n)
+            sol.values[tab.basis[r]] = tab.rhs[r];
+    double objective = 0.0;
+    for (int j = 0; j < n; ++j) {
+        sol.values[j] += lb[j];
+        objective += prob.variable(j).objCoef * sol.values[j];
+    }
+    sol.objective = objective;
+    return sol;
+}
+
+} // namespace recshard

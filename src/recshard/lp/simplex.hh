@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Two-phase dense tableau simplex solver.
+ *
+ * Solves the LpProblem minimization form. General bounds are
+ * handled by shifting variables to lower bound zero and encoding
+ * finite upper bounds as explicit rows; phase 1 drives artificial
+ * variables to zero, phase 2 optimizes the true objective. Dantzig
+ * pricing with a Bland's-rule fallback guards against cycling.
+ *
+ * The dense tableau is intended for the small-to-medium instances
+ * the exact MILP path explores; the production-scale sharding path
+ * (hundreds of EMBs) uses the structure-exploiting RecShardSolver
+ * instead.
+ */
+
+#ifndef RECSHARD_LP_SIMPLEX_HH
+#define RECSHARD_LP_SIMPLEX_HH
+
+#include <vector>
+
+#include "recshard/lp/problem.hh"
+
+namespace recshard {
+
+/** Solver outcome. */
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit };
+
+/** Human-readable status name. */
+const char *lpStatusName(LpStatus status);
+
+/** LP solve result. */
+struct LpSolution
+{
+    LpStatus status = LpStatus::IterLimit;
+    double objective = 0.0;
+    std::vector<double> values; //!< per original variable
+};
+
+/** Two-phase primal simplex over a dense tableau. */
+class SimplexSolver
+{
+  public:
+    /** The problem must outlive the solver. */
+    explicit SimplexSolver(const LpProblem &problem);
+
+    /**
+     * Solve, optionally tightening variable bounds (used by
+     * branch-and-bound). Override vectors must be empty or sized
+     * numVars(); entries replace the model bounds.
+     */
+    LpSolution solve(const std::vector<double> &lb_override = {},
+                     const std::vector<double> &ub_override = {}) const;
+
+  private:
+    const LpProblem &prob;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_LP_SIMPLEX_HH

@@ -1,0 +1,93 @@
+#include "recshard/memsim/multi_tier.hh"
+
+#include <algorithm>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+TieredMemory::TieredMemory(std::vector<MemoryTierSpec> tiers)
+    : tierSpecs(std::move(tiers))
+{
+    fatal_if(tierSpecs.empty(), "a hierarchy needs at least one "
+             "tier");
+    for (const auto &t : tierSpecs)
+        fatal_if(t.bandwidth <= 0.0, "tier '", t.name,
+                 "' has non-positive bandwidth");
+    std::stable_sort(tierSpecs.begin(), tierSpecs.end(),
+                     [](const MemoryTierSpec &a,
+                        const MemoryTierSpec &b) {
+                         return a.bandwidth > b.bandwidth;
+                     });
+}
+
+const MemoryTierSpec &
+TieredMemory::tier(std::size_t i) const
+{
+    panic_if(i >= tierSpecs.size(), "tier index ", i,
+             " out of range");
+    return tierSpecs[i];
+}
+
+double
+TieredMemory::time(const std::vector<std::uint64_t> &bytes_per_tier,
+                   EmbCostModel::Combine combine) const
+{
+    fatal_if(bytes_per_tier.size() != tierSpecs.size(),
+             "expected ", tierSpecs.size(), " tier byte counts, got ",
+             bytes_per_tier.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < tierSpecs.size(); ++i) {
+        const double t = static_cast<double>(bytes_per_tier[i]) /
+            tierSpecs[i].bandwidth;
+        total = combine == EmbCostModel::Combine::Sum
+            ? total + t : std::max(total, t);
+    }
+    return total;
+}
+
+MultiTierSplit
+splitAcrossTiers(const FrequencyCdf &cdf, const TieredMemory &memory,
+                 const std::vector<std::uint64_t> &row_budget)
+{
+    fatal_if(row_budget.size() != memory.numTiers(),
+             "expected ", memory.numTiers(), " budgets, got ",
+             row_budget.size());
+    std::uint64_t budget_total = 0;
+    for (const auto b : row_budget)
+        budget_total += b;
+    fatal_if(budget_total < cdf.hashSize(),
+             "tier budgets (", budget_total,
+             " rows) cannot hold the EMB (", cdf.hashSize(),
+             " rows)");
+
+    MultiTierSplit split;
+    split.rowsPerTier.assign(memory.numTiers(), 0);
+    split.accessFractionPerTier.assign(memory.numTiers(), 0.0);
+
+    // Hottest rows to fastest tiers: each tier takes the next
+    // contiguous rank range up to its budget; the access share of a
+    // range is CDF(end) - CDF(start).
+    std::uint64_t next_rank = 0;
+    std::uint64_t remaining = cdf.hashSize();
+    for (std::size_t i = 0; i < memory.numTiers() && remaining > 0;
+         ++i) {
+        const std::uint64_t take =
+            std::min<std::uint64_t>(row_budget[i], remaining);
+        split.rowsPerTier[i] = take;
+        const double lo = cdf.accessFraction(next_rank);
+        const double hi = cdf.accessFraction(next_rank + take);
+        split.accessFractionPerTier[i] = hi - lo;
+        next_rank += take;
+        remaining -= take;
+    }
+
+    for (std::size_t i = 0; i < memory.numTiers(); ++i) {
+        split.expectedSecondsPerByte +=
+            split.accessFractionPerTier[i] /
+            memory.tier(i).bandwidth;
+    }
+    return split;
+}
+
+} // namespace recshard

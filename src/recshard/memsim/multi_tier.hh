@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-tier generalization (paper Section 4.4).
+ *
+ * RecShard's two-tier formulation extends to hierarchies such as
+ * HBM + DRAM + SSD: each extra tier is one more split point on an
+ * EMB's frequency CDF, and the bandwidth scaling factors order the
+ * tiers automatically. This module provides the N-tier cost model
+ * and the per-EMB split: given bandwidth-ordered tiers with row
+ * budgets, the access-cost-minimizing assignment places rows by
+ * rank, hottest first into the fastest tier (exchange argument:
+ * swapping any hotter row into a slower tier than a colder row can
+ * only raise cost).
+ */
+
+#ifndef RECSHARD_MEMSIM_MULTI_TIER_HH
+#define RECSHARD_MEMSIM_MULTI_TIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/dist/frequency_cdf.hh"
+#include "recshard/memsim/system_spec.hh"
+
+namespace recshard {
+
+/** An ordered tier stack (fastest first after construction). */
+class TieredMemory
+{
+  public:
+    /**
+     * @param tiers Any order; sorted by descending bandwidth.
+     */
+    explicit TieredMemory(std::vector<MemoryTierSpec> tiers);
+
+    std::size_t numTiers() const { return tierSpecs.size(); }
+    const MemoryTierSpec &tier(std::size_t i) const;
+
+    /**
+     * Kernel time for per-tier byte traffic, combined by summation
+     * (current GPUs, Section 4.2) or by max.
+     */
+    double time(const std::vector<std::uint64_t> &bytes_per_tier,
+                EmbCostModel::Combine combine =
+                    EmbCostModel::Combine::Sum) const;
+
+  private:
+    std::vector<MemoryTierSpec> tierSpecs;
+};
+
+/** Rows of one EMB resident in each tier (fastest first). */
+struct MultiTierSplit
+{
+    std::vector<std::uint64_t> rowsPerTier;
+    /** Expected fraction of accesses served by each tier. */
+    std::vector<double> accessFractionPerTier;
+    /** Expected cost of one access in seconds-per-byte terms. */
+    double expectedSecondsPerByte = 0.0;
+};
+
+/**
+ * Optimal single-EMB split across the hierarchy: rows are assigned
+ * in rank order to the fastest tier with remaining row budget; the
+ * final tier must absorb whatever is left (fatal if it cannot).
+ *
+ * @param cdf             Profiled frequency ranking of the EMB.
+ * @param memory          The tier stack.
+ * @param row_budget      Per-tier row budgets for this EMB (same
+ *                        order as the stack, fastest first).
+ */
+MultiTierSplit splitAcrossTiers(const FrequencyCdf &cdf,
+                                const TieredMemory &memory,
+                                const std::vector<std::uint64_t>
+                                    &row_budget);
+
+} // namespace recshard
+
+#endif // RECSHARD_MEMSIM_MULTI_TIER_HH

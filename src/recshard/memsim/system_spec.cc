@@ -1,0 +1,80 @@
+#include "recshard/memsim/system_spec.hh"
+
+#include <algorithm>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+SystemSpec
+SystemSpec::paper(std::uint32_t gpus, double capacity_scale)
+{
+    fatal_if(gpus == 0, "a training system needs at least one GPU");
+    fatal_if(capacity_scale <= 0.0,
+             "capacity scale must be positive");
+    SystemSpec sys;
+    sys.numGpus = gpus;
+    // 24 GB of each A100-40GB reserved for EMBs; ~1555 GB/s HBM2e.
+    sys.hbm = MemoryTierSpec{
+        "HBM",
+        static_cast<std::uint64_t>(24.0 * static_cast<double>(GB) *
+                                   capacity_scale),
+        1555.0 * GBps};
+    // 128 GB host DRAM per GPU via UVM; PCIe 3.0 x16 sustains
+    // ~12.8 GB/s for scatter-gather reads.
+    sys.uvm = MemoryTierSpec{
+        "UVM",
+        static_cast<std::uint64_t>(128.0 * static_cast<double>(GB) *
+                                   capacity_scale),
+        12.8 * GBps};
+    sys.validate();
+    return sys;
+}
+
+void
+SystemSpec::validate() const
+{
+    fatal_if(numGpus == 0, "system has no GPUs");
+    fatal_if(hbm.bandwidth <= 0.0, "HBM bandwidth must be positive");
+    fatal_if(uvm.bandwidth <= 0.0, "UVM bandwidth must be positive");
+    fatal_if(hbm.capacityBytes == 0, "HBM capacity must be positive");
+    if (hbm.bandwidth < uvm.bandwidth) {
+        warn("HBM (", formatBandwidth(hbm.bandwidth),
+             ") is slower than UVM (", formatBandwidth(uvm.bandwidth),
+             "); tier ordering is inverted");
+    }
+}
+
+EmbCostModel::EmbCostModel(const SystemSpec &system, Combine combine_)
+    : hbmBw(system.hbm.bandwidth), uvmBw(system.uvm.bandwidth),
+      mode(combine_)
+{
+}
+
+double
+EmbCostModel::time(std::uint64_t hbm_bytes, std::uint64_t uvm_bytes)
+    const
+{
+    const double t_hbm = static_cast<double>(hbm_bytes) / hbmBw;
+    const double t_uvm = static_cast<double>(uvm_bytes) / uvmBw;
+    return mode == Combine::Sum ? t_hbm + t_uvm
+                                : std::max(t_hbm, t_uvm);
+}
+
+double
+EmbCostModel::estimatedEmbCost(const FeatureSpec &f, double avg_pool,
+                               double pct_hbm, std::uint32_t batch)
+    const
+{
+    fatal_if(pct_hbm < 0.0 || pct_hbm > 1.0,
+             "HBM access fraction ", pct_hbm, " outside [0,1]");
+    const double step_bytes = avg_pool *
+        static_cast<double>(f.rowBytes()) *
+        static_cast<double>(batch);
+    const double hbm_term = pct_hbm * step_bytes / hbmBw;
+    const double uvm_term = (1.0 - pct_hbm) * step_bytes / uvmBw;
+    return mode == Combine::Sum ? hbm_term + uvm_term
+                                : std::max(hbm_term, uvm_term);
+}
+
+} // namespace recshard

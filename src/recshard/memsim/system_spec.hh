@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tiered-memory training-system specification and embedding-kernel
+ * cost model.
+ *
+ * Mirrors the paper's evaluation platform (Section 5.2): per GPU,
+ * a reserved HBM budget for EMBs (24 GB of an A100-40GB at
+ * ~1555 GB/s) and a host-DRAM budget reachable through UVM over
+ * PCIe 3.0 x16 (128 GB at an effective ~12.8 GB/s). The cost model
+ * is the paper's own (Constraint 11 and Section 4.2 "Key
+ * Properties"): an embedding kernel's time is bytes-from-tier over
+ * tier bandwidth, combined across tiers by summation (current GPUs)
+ * or by max (hypothetical fully-concurrent mixed reads).
+ */
+
+#ifndef RECSHARD_MEMSIM_SYSTEM_SPEC_HH
+#define RECSHARD_MEMSIM_SYSTEM_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "recshard/base/units.hh"
+#include "recshard/datagen/feature_spec.hh"
+
+namespace recshard {
+
+/** One memory tier as seen by a GPU. */
+struct MemoryTierSpec
+{
+    std::string name;
+    std::uint64_t capacityBytes = 0;
+    double bandwidth = 0.0; //!< bytes per second
+
+    /** Seconds to transfer the given bytes at full bandwidth. */
+    double transferTime(std::uint64_t bytes) const
+    {
+        return static_cast<double>(bytes) / bandwidth;
+    }
+};
+
+/** A homogeneous multi-GPU training node (per-GPU tier budgets). */
+struct SystemSpec
+{
+    std::uint32_t numGpus = 16;
+    MemoryTierSpec hbm; //!< per-GPU HBM budget reserved for EMBs
+    MemoryTierSpec uvm; //!< per-GPU host-DRAM budget via UVM
+
+    /**
+     * The paper's evaluation system (Section 5.2).
+     *
+     * @param gpus           Trainer count (paper: 16).
+     * @param capacity_scale Scales both capacities; use the same
+     *                       factor as the model-zoo row scale so
+     *                       capacity *pressure* is preserved.
+     */
+    static SystemSpec paper(std::uint32_t gpus = 16,
+                            double capacity_scale = 1.0);
+
+    /** Validate invariants; fatal() on nonsense. */
+    void validate() const;
+
+    std::uint64_t totalHbmBytes() const
+    {
+        return static_cast<std::uint64_t>(numGpus) *
+            hbm.capacityBytes;
+    }
+
+    std::uint64_t totalUvmBytes() const
+    {
+        return static_cast<std::uint64_t>(numGpus) *
+            uvm.capacityBytes;
+    }
+};
+
+/** Embedding-operator latency model over the two tiers. */
+class EmbCostModel
+{
+  public:
+    /** How HBM and UVM read times combine (Section 4.2). */
+    enum class Combine { Sum, Max };
+
+    explicit EmbCostModel(const SystemSpec &system,
+                          Combine combine = Combine::Sum);
+
+    /** Kernel time for the given per-tier byte traffic. */
+    double time(std::uint64_t hbm_bytes, std::uint64_t uvm_bytes)
+        const;
+
+    /**
+     * The MILP's per-EMB forward-pass cost estimate (Constraint 11):
+     * expected bytes per step from pooling/batch, split by the
+     * fraction of accesses served from HBM.
+     *
+     * @param f        EMB geometry (dim, element bytes).
+     * @param avg_pool Average pooling factor estimate.
+     * @param pct_hbm  Estimated fraction of accesses served by HBM.
+     * @param batch    Training batch size.
+     */
+    double estimatedEmbCost(const FeatureSpec &f, double avg_pool,
+                            double pct_hbm, std::uint32_t batch)
+        const;
+
+    Combine combine() const { return mode; }
+    double hbmBandwidth() const { return hbmBw; }
+    double uvmBandwidth() const { return uvmBw; }
+
+  private:
+    double hbmBw;
+    double uvmBw;
+    Combine mode;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_MEMSIM_SYSTEM_SPEC_HH

@@ -1,0 +1,142 @@
+#include "recshard/remap/remap_table.hh"
+
+#include <limits>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+RemapTable
+RemapTable::build(const FeatureSpec &spec, const FrequencyCdf &cdf,
+                  std::uint64_t hbm_rows)
+{
+    fatal_if(spec.hashSize >
+             static_cast<std::uint64_t>(
+                 std::numeric_limits<std::int32_t>::max()),
+             "hash size ", spec.hashSize,
+             " exceeds the 4-byte remap entry range");
+    fatal_if(hbm_rows > spec.hashSize,
+             "HBM rows ", hbm_rows, " exceed hash size ",
+             spec.hashSize);
+    fatal_if(cdf.hashSize() != spec.hashSize,
+             "CDF hash size ", cdf.hashSize(),
+             " does not match the EMB's ", spec.hashSize);
+
+    RemapTable table;
+    table.hbmRowsV = hbm_rows;
+    // Sentinel: unassigned.
+    constexpr std::int32_t kUnset =
+        std::numeric_limits<std::int32_t>::min();
+    table.entries.assign(spec.hashSize, kUnset);
+
+    // Hot rows by rank take HBM slots 0..hbm_rows-1.
+    const auto &ranked = cdf.rankedRows();
+    const std::uint64_t hot_from_rank =
+        std::min<std::uint64_t>(hbm_rows, ranked.size());
+    std::uint64_t next_hbm_slot = 0;
+    for (std::uint64_t r = 0; r < hot_from_rank; ++r) {
+        table.entries[ranked[r]] =
+            static_cast<std::int32_t>(next_hbm_slot++);
+    }
+    // Remaining rows in ascending order. Note spill-back (an HBM
+    // budget beyond the profiled rows) only happens when *all*
+    // ranked rows are already hot, so every still-unset row here is
+    // either untouched or a ranked-but-cold row headed for UVM.
+    std::uint64_t next_uvm_slot = 0;
+    for (std::uint64_t row = 0; row < spec.hashSize; ++row) {
+        if (table.entries[row] != kUnset)
+            continue;
+        if (next_hbm_slot < hbm_rows) {
+            table.entries[row] =
+                static_cast<std::int32_t>(next_hbm_slot++);
+        } else {
+            // UVM slot s encoded as -(s+1).
+            table.entries[row] =
+                -static_cast<std::int32_t>(next_uvm_slot++) - 1;
+        }
+    }
+    panic_if(next_hbm_slot != hbm_rows,
+             "HBM slots assigned (", next_hbm_slot,
+             ") != requested (", hbm_rows, ")");
+    panic_if(next_uvm_slot != spec.hashSize - hbm_rows,
+             "UVM slot accounting mismatch");
+    return table;
+}
+
+RemappedRow
+RemapTable::lookup(std::uint64_t row) const
+{
+    const std::int32_t raw = rawEntry(row);
+    if (raw >= 0)
+        return RemappedRow{true, static_cast<std::uint64_t>(raw)};
+    return RemappedRow{false,
+                       static_cast<std::uint64_t>(-(raw + 1))};
+}
+
+std::int32_t
+RemapTable::rawEntry(std::uint64_t row) const
+{
+    panic_if(row >= entries.size(), "row ", row,
+             " outside remap table of ", entries.size(), " rows");
+    return entries[row];
+}
+
+void
+RemapTable::remapIndices(std::vector<std::uint64_t> &indices) const
+{
+    for (auto &idx : indices) {
+        const RemappedRow dst = lookup(idx);
+        idx = dst.inHbm ? dst.slot : hbmRowsV + dst.slot;
+    }
+}
+
+TierResolver
+TierResolver::allHbm()
+{
+    TierResolver r;
+    r.mode = Mode::AllHbm;
+    return r;
+}
+
+TierResolver
+TierResolver::allUvm()
+{
+    TierResolver r;
+    r.mode = Mode::AllUvm;
+    return r;
+}
+
+TierResolver
+TierResolver::split(const FrequencyCdf &cdf, std::uint64_t hbm_rows,
+                    std::uint64_t hash_size)
+{
+    fatal_if(hbm_rows > hash_size, "HBM rows ", hbm_rows,
+             " exceed hash size ", hash_size);
+    if (hbm_rows == hash_size)
+        return allHbm();
+    if (hbm_rows == 0)
+        return allUvm();
+
+    TierResolver r;
+    r.mode = Mode::Split;
+    r.hot.assign(hash_size, false);
+    const auto &ranked = cdf.rankedRows();
+    const std::uint64_t hot_from_rank =
+        std::min<std::uint64_t>(hbm_rows, ranked.size());
+    for (std::uint64_t i = 0; i < hot_from_rank; ++i)
+        r.hot[ranked[i]] = true;
+    // Spill-back, matching RemapTable::build: a budget beyond the
+    // profiled rows means every ranked row is already hot, so the
+    // remaining HBM rows are untouched rows in ascending order.
+    std::uint64_t remaining = hbm_rows - hot_from_rank;
+    for (std::uint64_t row = 0; remaining > 0 && row < hash_size;
+         ++row) {
+        if (!r.hot[row]) {
+            r.hot[row] = true;
+            --remaining;
+        }
+    }
+    return r;
+}
+
+} // namespace recshard

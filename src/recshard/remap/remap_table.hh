@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The remapping layer (paper Sections 4.3 and 6.6).
+ *
+ * The MILP selects EMB rows for HBM by access rank, so the chosen
+ * rows are scattered across the table. A per-EMB remap table
+ * relocates them: each original row index maps to a dense slot in
+ * either the HBM partition or the UVM partition. Following the
+ * paper, one remap entry costs 4 bytes — the sign of the remapped
+ * index distinguishes the partitions.
+ *
+ * TierResolver is the allocation-free companion used by the trace
+ * replay engine at scale: it answers only "is this row in HBM?",
+ * with one bit per row instead of 32.
+ */
+
+#ifndef RECSHARD_REMAP_REMAP_TABLE_HH
+#define RECSHARD_REMAP_REMAP_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/datagen/feature_spec.hh"
+#include "recshard/dist/frequency_cdf.hh"
+
+namespace recshard {
+
+/** Destination of one remapped row. */
+struct RemappedRow
+{
+    bool inHbm;
+    std::uint64_t slot; //!< dense index within its partition
+};
+
+/** Per-EMB 4-byte-per-row remapping table. */
+class RemapTable
+{
+  public:
+    /**
+     * Build the table for one EMB.
+     *
+     * Rows ranked hotter than `hbm_rows` receive HBM slots in rank
+     * order (rank r -> slot r). If `hbm_rows` exceeds the profiled
+     * (touched) rows, the remaining HBM slots are filled with
+     * untouched rows in ascending row order — those are the
+     * zero-cost rows RecShard reclaims (Section 3.4). All other
+     * rows receive dense UVM slots in ascending row order.
+     *
+     * @param spec     EMB geometry (hash size; must fit in int32).
+     * @param cdf      Profiled frequency ranking.
+     * @param hbm_rows Rows to place in the HBM partition.
+     */
+    static RemapTable build(const FeatureSpec &spec,
+                            const FrequencyCdf &cdf,
+                            std::uint64_t hbm_rows);
+
+    /** Where one original row index now lives. */
+    RemappedRow lookup(std::uint64_t row) const;
+
+    /** Raw sign-encoded entry (>= 0 HBM slot, < 0 UVM slot). */
+    std::int32_t rawEntry(std::uint64_t row) const;
+
+    std::uint64_t numRows() const { return entries.size(); }
+    std::uint64_t hbmRows() const { return hbmRowsV; }
+    std::uint64_t uvmRows() const { return numRows() - hbmRowsV; }
+
+    /** Remap-table storage cost: 4 bytes per row (Section 6.6). */
+    std::uint64_t storageBytes() const
+    {
+        return entries.size() * sizeof(std::int32_t);
+    }
+
+    /**
+     * Remap a batch of row indices in place (the paper implements
+     * this as a data-loading transform off the critical path).
+     * HBM destinations become their slot; UVM destinations become
+     * hbmRows() + slot, i.e. a single unified index space.
+     */
+    void remapIndices(std::vector<std::uint64_t> &indices) const;
+
+  private:
+    std::vector<std::int32_t> entries;
+    std::uint64_t hbmRowsV = 0;
+};
+
+/** Lightweight HBM-membership oracle for trace replay at scale. */
+class TierResolver
+{
+  public:
+    /** Whole table resident in HBM. */
+    static TierResolver allHbm();
+
+    /** Whole table resident in UVM. */
+    static TierResolver allUvm();
+
+    /**
+     * Fine-grained split: the same row->tier decision RemapTable
+     * makes, stored as one bit per row.
+     */
+    static TierResolver split(const FrequencyCdf &cdf,
+                              std::uint64_t hbm_rows,
+                              std::uint64_t hash_size);
+
+    /** Does this row live in HBM? */
+    bool
+    inHbm(std::uint64_t row) const
+    {
+        switch (mode) {
+          case Mode::AllHbm: return true;
+          case Mode::AllUvm: return false;
+          default: return hot[row];
+        }
+    }
+
+  private:
+    enum class Mode { AllHbm, AllUvm, Split };
+    Mode mode = Mode::AllUvm;
+    std::vector<bool> hot;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_REMAP_REMAP_TABLE_HH

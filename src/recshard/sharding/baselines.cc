@@ -1,0 +1,114 @@
+#include "recshard/sharding/baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+const char *
+baselineCostName(BaselineCost kind)
+{
+    switch (kind) {
+      case BaselineCost::Size:       return "Size-Based";
+      case BaselineCost::Lookup:     return "Lookup-Based";
+      case BaselineCost::SizeLookup: return "Size-Based-Lookup";
+    }
+    return "unknown";
+}
+
+double
+baselineCost(BaselineCost kind, const FeatureSpec &spec,
+             const EmbProfile &profile)
+{
+    const double size_cost = static_cast<double>(spec.hashSize) *
+        spec.dim;
+    const double lookup_cost = profile.avgPool * spec.dim;
+    switch (kind) {
+      case BaselineCost::Size:
+        return size_cost;
+      case BaselineCost::Lookup:
+        return lookup_cost;
+      case BaselineCost::SizeLookup:
+        return lookup_cost *
+            std::log10(static_cast<double>(spec.hashSize));
+    }
+    panic("unreachable baseline cost kind");
+}
+
+ShardingPlan
+greedyShard(BaselineCost kind, const ModelSpec &model,
+            const std::vector<EmbProfile> &profiles,
+            const SystemSpec &system)
+{
+    fatal_if(profiles.size() != model.features.size(),
+             "profile count ", profiles.size(),
+             " != feature count ", model.features.size());
+
+    const std::uint32_t J = model.numFeatures();
+    std::vector<double> cost(J);
+    for (std::uint32_t j = 0; j < J; ++j)
+        cost[j] = baselineCost(kind, model.features[j], profiles[j]);
+
+    // Descending cost order (stable on index for determinism).
+    std::vector<std::uint32_t> order(J);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (cost[a] != cost[b])
+                      return cost[a] > cost[b];
+                  return a < b;
+              });
+
+    ShardingPlan plan;
+    plan.strategy = baselineCostName(kind);
+    plan.tables.resize(J);
+
+    std::vector<double> gpu_cost(system.numGpus, 0.0);
+    std::vector<std::uint64_t> hbm_left(system.numGpus,
+                                        system.hbm.capacityBytes);
+    std::vector<std::uint64_t> uvm_left(system.numGpus,
+                                        system.uvm.capacityBytes);
+
+    for (const std::uint32_t j : order) {
+        const std::uint64_t bytes = model.features[j].tableBytes();
+        // Cheapest-loaded GPU whose HBM fits the whole table.
+        int best_hbm = -1;
+        int best_uvm = -1;
+        for (std::uint32_t m = 0; m < system.numGpus; ++m) {
+            if (bytes <= hbm_left[m] &&
+                (best_hbm < 0 || gpu_cost[m] < gpu_cost[best_hbm])) {
+                best_hbm = static_cast<int>(m);
+            }
+            if (bytes <= uvm_left[m] &&
+                (best_uvm < 0 || gpu_cost[m] < gpu_cost[best_uvm])) {
+                best_uvm = static_cast<int>(m);
+            }
+        }
+        EmbPlacement &t = plan.tables[j];
+        if (best_hbm >= 0) {
+            t.gpu = static_cast<std::uint32_t>(best_hbm);
+            t.hbmRows = model.features[j].hashSize;
+            t.hbmAccessFraction = 1.0;
+            hbm_left[static_cast<std::size_t>(best_hbm)] -= bytes;
+        } else {
+            // HBM saturated everywhere: whole table goes to UVM on
+            // the cheapest-loaded GPU with DRAM room.
+            fatal_if(best_uvm < 0,
+                     "model '", model.name,
+                     "' does not fit the system even using UVM");
+            t.gpu = static_cast<std::uint32_t>(best_uvm);
+            t.hbmRows = 0;
+            t.hbmAccessFraction = 0.0;
+            uvm_left[static_cast<std::size_t>(best_uvm)] -= bytes;
+        }
+        gpu_cost[t.gpu] += cost[j];
+    }
+
+    plan.validate(model, system);
+    return plan;
+}
+
+} // namespace recshard

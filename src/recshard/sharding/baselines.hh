@@ -1,0 +1,53 @@
+/**
+ * @file
+ * State-of-the-art baseline sharding strategies (paper Section 5).
+ *
+ * Step I assigns each EMB a fixed scalar cost:
+ *   - Size:            hash_size * dim
+ *   - Lookup:          avg_pool * dim
+ *   - Size-and-Lookup: lookup cost * log10(hash_size)
+ *
+ * Step II is the greedy heuristic used in production systems: sort
+ * EMBs by descending cost and place each on the GPU with the lowest
+ * accumulated cost whose HBM still fits the whole table; once HBM
+ * saturates, remaining EMBs are allocated wholly in UVM. Baselines
+ * never split a table.
+ */
+
+#ifndef RECSHARD_SHARDING_BASELINES_HH
+#define RECSHARD_SHARDING_BASELINES_HH
+
+#include <string>
+#include <vector>
+
+#include "recshard/profiler/profiler.hh"
+#include "recshard/sharding/plan.hh"
+
+namespace recshard {
+
+/** Baseline cost-function family (paper Section 5, Step I). */
+enum class BaselineCost { Size, Lookup, SizeLookup };
+
+/** Display name ("Size-Based", ...). */
+const char *baselineCostName(BaselineCost kind);
+
+/** The Step-I scalar cost of one EMB under the given family. */
+double baselineCost(BaselineCost kind, const FeatureSpec &spec,
+                    const EmbProfile &profile);
+
+/**
+ * Run the Step-II greedy heuristic with the given cost family.
+ *
+ * @param kind     Cost family.
+ * @param model    Model being sharded.
+ * @param profiles Per-EMB profiles (for Lookup costs).
+ * @param system   Target system (capacities).
+ * @return A whole-table placement plan; validated before return.
+ */
+ShardingPlan greedyShard(BaselineCost kind, const ModelSpec &model,
+                         const std::vector<EmbProfile> &profiles,
+                         const SystemSpec &system);
+
+} // namespace recshard
+
+#endif // RECSHARD_SHARDING_BASELINES_HH

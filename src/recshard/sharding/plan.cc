@@ -1,0 +1,92 @@
+#include "recshard/sharding/plan.hh"
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+std::uint64_t
+ShardingPlan::hbmBytesOnGpu(const ModelSpec &model,
+                            std::uint32_t gpu) const
+{
+    std::uint64_t bytes = 0;
+    for (std::size_t j = 0; j < tables.size(); ++j)
+        if (tables[j].gpu == gpu)
+            bytes += tables[j].hbmRows * model.features[j].rowBytes();
+    return bytes;
+}
+
+std::uint64_t
+ShardingPlan::uvmBytesOnGpu(const ModelSpec &model,
+                            std::uint32_t gpu) const
+{
+    std::uint64_t bytes = 0;
+    for (std::size_t j = 0; j < tables.size(); ++j) {
+        if (tables[j].gpu == gpu) {
+            const auto &f = model.features[j];
+            bytes += (f.hashSize - tables[j].hbmRows) * f.rowBytes();
+        }
+    }
+    return bytes;
+}
+
+std::uint32_t
+ShardingPlan::tablesOnGpu(std::uint32_t gpu) const
+{
+    std::uint32_t count = 0;
+    for (const auto &t : tables)
+        count += t.gpu == gpu;
+    return count;
+}
+
+std::uint64_t
+ShardingPlan::totalHbmRows() const
+{
+    std::uint64_t rows = 0;
+    for (const auto &t : tables)
+        rows += t.hbmRows;
+    return rows;
+}
+
+std::uint64_t
+ShardingPlan::totalUvmRows(const ModelSpec &model) const
+{
+    std::uint64_t rows = 0;
+    for (std::size_t j = 0; j < tables.size(); ++j)
+        rows += model.features[j].hashSize - tables[j].hbmRows;
+    return rows;
+}
+
+void
+ShardingPlan::validate(const ModelSpec &model,
+                       const SystemSpec &system) const
+{
+    fatal_if(tables.size() != model.features.size(),
+             "plan covers ", tables.size(), " EMBs but model '",
+             model.name, "' has ", model.features.size());
+    for (std::size_t j = 0; j < tables.size(); ++j) {
+        const auto &t = tables[j];
+        fatal_if(t.gpu >= system.numGpus,
+                 "EMB ", j, " assigned to GPU ", t.gpu,
+                 " but the system has ", system.numGpus);
+        fatal_if(t.hbmRows > model.features[j].hashSize,
+                 "EMB ", j, " places ", t.hbmRows,
+                 " rows in HBM but has only ",
+                 model.features[j].hashSize);
+        fatal_if(t.hbmAccessFraction < 0.0 ||
+                 t.hbmAccessFraction > 1.0,
+                 "EMB ", j, " HBM access fraction ",
+                 t.hbmAccessFraction, " outside [0,1]");
+    }
+    for (std::uint32_t m = 0; m < system.numGpus; ++m) {
+        const std::uint64_t hbm = hbmBytesOnGpu(model, m);
+        const std::uint64_t uvm = uvmBytesOnGpu(model, m);
+        fatal_if(hbm > system.hbm.capacityBytes,
+                 "plan '", strategy, "' overflows HBM on GPU ", m,
+                 ": ", hbm, " > ", system.hbm.capacityBytes);
+        fatal_if(uvm > system.uvm.capacityBytes,
+                 "plan '", strategy, "' overflows UVM on GPU ", m,
+                 ": ", uvm, " > ", system.uvm.capacityBytes);
+    }
+}
+
+} // namespace recshard

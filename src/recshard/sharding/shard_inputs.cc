@@ -1,0 +1,65 @@
+#include "recshard/sharding/shard_inputs.hh"
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+std::vector<EmbShardInput>
+buildShardInputs(const ModelSpec &model,
+                 const std::vector<EmbProfile> &profiles,
+                 unsigned steps, AblationSwitches ablation)
+{
+    fatal_if(profiles.size() != model.features.size(),
+             "profile count ", profiles.size(),
+             " != feature count ", model.features.size());
+    fatal_if(steps == 0, "ICDF needs at least one step");
+
+    std::vector<EmbShardInput> inputs;
+    inputs.reserve(model.features.size());
+    for (std::size_t j = 0; j < model.features.size(); ++j) {
+        const auto &f = model.features[j];
+        const auto &p = profiles[j];
+        EmbShardInput in;
+        in.hashSize = f.hashSize;
+        in.rowBytes = f.rowBytes();
+        in.tableBytes = f.tableBytes();
+        in.avgPool = ablation.usePooling ? p.avgPool : 1.0;
+        in.coverage = ablation.useCoverage ? p.coverage : 1.0;
+        in.icdfRows = p.cdf.icdfSteps(steps);
+        in.tailRows = f.hashSize - p.cdf.touchedRows();
+        if (p.cdf.totalAccesses() > 0 && in.tailRows > 0) {
+            in.missingMass = std::min(
+                0.5,
+                static_cast<double>(p.cdf.singletonRows()) /
+                    static_cast<double>(p.cdf.totalAccesses()));
+        }
+        inputs.push_back(std::move(in));
+    }
+    return inputs;
+}
+
+double
+embCostUnweighted(const EmbShardInput &emb, const EmbCostModel &cost,
+                  double pct, std::uint32_t batch)
+{
+    const double step_bytes = emb.avgPool *
+        static_cast<double>(emb.rowBytes) *
+        static_cast<double>(batch);
+    const double hbm_term = pct * step_bytes / cost.hbmBandwidth();
+    const double uvm_term = (1.0 - pct) * step_bytes /
+        cost.uvmBandwidth();
+    return cost.combine() == EmbCostModel::Combine::Sum
+        ? hbm_term + uvm_term
+        : std::max(hbm_term, uvm_term);
+}
+
+double
+embCostAtPct(const EmbShardInput &emb, const EmbCostModel &cost,
+             double pct, std::uint32_t batch)
+{
+    // Constraint 11 (per-EMB forward-pass cost) weighted by
+    // Constraint 12's coverage factor.
+    return emb.coverage * embCostUnweighted(emb, cost, pct, batch);
+}
+
+} // namespace recshard

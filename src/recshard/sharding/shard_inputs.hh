@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Precomputed per-EMB quantities shared by the exact MILP path and
+ * the scalable RecShard solver: the piecewise ICDF (row counts per
+ * access-fraction step), byte geometry, and the ablation-adjusted
+ * pooling/coverage statistics (paper Section 6.5).
+ */
+
+#ifndef RECSHARD_SHARDING_SHARD_INPUTS_HH
+#define RECSHARD_SHARDING_SHARD_INPUTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/memsim/system_spec.hh"
+#include "recshard/profiler/profiler.hh"
+
+namespace recshard {
+
+/** Statistic switches for the ablation study (Section 6.5). */
+struct AblationSwitches
+{
+    bool usePooling = true;  //!< avg_pool_j in the cost (else 1)
+    bool useCoverage = true; //!< coverage_j weighting (else 1)
+};
+
+/** Solver-ready view of one EMB. */
+struct EmbShardInput
+{
+    std::uint64_t hashSize = 0;
+    std::uint64_t rowBytes = 0;
+    std::uint64_t tableBytes = 0;
+    double avgPool = 1.0;  //!< post-ablation pooling estimate
+    double coverage = 1.0; //!< post-ablation coverage weight
+    /**
+     * Good-Turing estimate of the access mass on rows the profile
+     * never saw (the tail). The ICDF below only ranks *observed*
+     * rows, so this mass must be charged to whichever tier holds
+     * the unprofiled remainder of the table.
+     */
+    double missingMass = 0.0;
+    /** Rows the profile never touched. */
+    std::uint64_t tailRows = 0;
+    /** icdfRows[i] = rows covering fraction i/steps of accesses. */
+    std::vector<std::uint64_t> icdfRows;
+
+    /** HBM bytes consumed when step i is chosen. */
+    std::uint64_t memAtStep(unsigned i) const
+    {
+        return icdfRows[i] * rowBytes;
+    }
+};
+
+/**
+ * Build solver inputs for every EMB.
+ *
+ * @param model    Model being sharded.
+ * @param profiles Per-EMB training-data profiles.
+ * @param steps    ICDF linearization steps (paper: 100).
+ * @param ablation Statistic switches.
+ */
+std::vector<EmbShardInput>
+buildShardInputs(const ModelSpec &model,
+                 const std::vector<EmbProfile> &profiles,
+                 unsigned steps, AblationSwitches ablation = {});
+
+/**
+ * Constraint 11: the per-iteration forward-pass cost of one EMB when
+ * `pct` of its accesses come from HBM (no coverage weighting).
+ */
+double embCostUnweighted(const EmbShardInput &emb,
+                         const EmbCostModel &cost, double pct,
+                         std::uint32_t batch);
+
+/**
+ * The coverage-weighted per-iteration cost of EMB j when `pct` of
+ * its accesses come from HBM — the MILP's Constraints 11 and 12
+ * folded together.
+ */
+double embCostAtPct(const EmbShardInput &emb, const EmbCostModel &cost,
+                    double pct, std::uint32_t batch);
+
+} // namespace recshard
+
+#endif // RECSHARD_SHARDING_SHARD_INPUTS_HH

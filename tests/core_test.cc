@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Integration tests for the end-to-end RecShard pipeline (Fig. 10)
+ * and the Section 3.5 re-sharding assessment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "recshard/core/pipeline.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/sharding/baselines.hh"
+
+namespace {
+
+using namespace recshard;
+
+TEST(Pipeline, EndToEndProducesExecutablePlan)
+{
+    const ModelSpec model = makeTinyModel(8, 3000, 3);
+    SyntheticDataset data(model, 5);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = model.totalBytes() / 6;
+    sys.uvm.capacityBytes = model.totalBytes();
+
+    PipelineOptions opts;
+    opts.profileSamples = 20000;
+    const RecShardPipeline pipeline(data, sys, opts);
+    const PipelineResult result = pipeline.run();
+
+    EXPECT_EQ(result.profiles.size(), model.features.size());
+    result.plan.validate(model, sys);
+    EXPECT_EQ(result.resolvers.size(), model.features.size());
+    EXPECT_GT(result.profileSeconds, 0.0);
+    EXPECT_GT(result.solveSeconds, 0.0);
+
+    // Remap storage: 4 bytes per row of every split table.
+    std::uint64_t expected = 0;
+    for (std::size_t j = 0; j < result.plan.tables.size(); ++j) {
+        const auto rows = result.plan.tables[j].hbmRows;
+        if (rows > 0 && rows < model.features[j].hashSize)
+            expected += model.features[j].hashSize * 4;
+    }
+    EXPECT_EQ(result.remapStorageBytes, expected);
+    EXPECT_GT(expected, 0u) << "capacity pressure should force "
+                               "at least one split table";
+
+    // The pipeline's plan beats the greedy baselines end-to-end.
+    ExecutionEngine engine(data, sys, EmbCostModel(sys));
+    const ShardingPlan base = greedyShard(BaselineCost::Size, model,
+                                          result.profiles, sys);
+    ReplayConfig cfg;
+    cfg.batchSize = 1024;
+    cfg.warmupIterations = 1;
+    cfg.measureIterations = 4;
+    const auto replayed = engine.replay(
+        {&result.plan, &base},
+        {result.resolvers,
+         ExecutionEngine::buildResolvers(model, base,
+                                         result.profiles)},
+        cfg);
+    EXPECT_LT(replayed[0].meanBottleneckTime,
+              replayed[1].meanBottleneckTime);
+    EXPECT_LT(replayed[0].uvmAccessFraction(),
+              replayed[1].uvmAccessFraction());
+}
+
+TEST(Pipeline, ExactMilpPathOnTinyModel)
+{
+    const ModelSpec model = makeTinyModel(4, 800, 11);
+    SyntheticDataset data(model, 7);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = model.totalBytes() / 5;
+    sys.uvm.capacityBytes = model.totalBytes();
+
+    PipelineOptions opts;
+    opts.profileSamples = 10000;
+    opts.useExactMilp = true;
+    opts.milp.icdfSteps = 5;
+    const PipelineResult result =
+        RecShardPipeline(data, sys, opts).run();
+    result.plan.validate(model, sys);
+    EXPECT_EQ(result.plan.strategy, "RecShard-MILP");
+    EXPECT_GT(result.milpStats.nodesExplored, 0u);
+}
+
+TEST(Pipeline, RejectsZeroSamples)
+{
+    const ModelSpec model = makeTinyModel(2, 100, 1);
+    SyntheticDataset data(model, 1);
+    const SystemSpec sys = SystemSpec::paper(1, 1.0);
+    PipelineOptions opts;
+    opts.profileSamples = 0;
+    EXPECT_EXIT(RecShardPipeline(data, sys, opts),
+                ::testing::ExitedWithCode(1), "sample");
+}
+
+TEST(Reshard, DriftMakesReshardingProfitable)
+{
+    // Build a plan at month 0, then profile month 18 data with
+    // swapped feature statistics pressure; a fresh plan should win.
+    ModelSpec model = makeTinyModel(8, 3000, 13);
+    SyntheticDataset data(model, 21);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = model.totalBytes() / 6;
+    sys.uvm.capacityBytes = model.totalBytes();
+
+    PipelineOptions opts;
+    opts.profileSamples = 20000;
+    const PipelineResult month0 =
+        RecShardPipeline(data, sys, opts).run();
+
+    // Exaggerated drift so the effect is deterministic.
+    DriftModel drift;
+    drift.userSlopePerMonth = 0.05;
+    drift.contentSlopePerMonth = 0.01;
+    data.setDrift(drift);
+    data.setMonth(18);
+    const auto fresh_profiles = profileDataset(data, 20000, 4096);
+
+    const ReshardAssessment assess = assessReshard(
+        model, fresh_profiles, sys, month0.plan, month0.resolvers);
+    EXPECT_GE(assess.speedup, 1.0);
+    assess.freshPlan.validate(model, sys);
+    EXPECT_LE(assess.freshCost, assess.incumbentCost + 1e-12);
+}
+
+TEST(Reshard, NoDriftMeansLittleBenefit)
+{
+    ModelSpec model = makeTinyModel(8, 3000, 17);
+    SyntheticDataset data(model, 23);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = model.totalBytes() / 6;
+    sys.uvm.capacityBytes = model.totalBytes();
+
+    PipelineOptions opts;
+    opts.profileSamples = 20000;
+    const PipelineResult result =
+        RecShardPipeline(data, sys, opts).run();
+
+    // Re-profile the *same* distribution.
+    const auto fresh = profileDataset(data, 20000, 4096);
+    const ReshardAssessment assess = assessReshard(
+        model, fresh, sys, result.plan, result.resolvers);
+    // Statistically identical data: re-sharding buys very little.
+    EXPECT_LT(assess.speedup, 1.15);
+}
+
+} // namespace

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the distribution substrate: Zipf sampling, log-normal
+ * pooling, and the empirical frequency CDF/ICDF.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "recshard/base/random.hh"
+#include "recshard/base/stats.hh"
+#include "recshard/dist/frequency_cdf.hh"
+#include "recshard/dist/sampling.hh"
+#include "recshard/dist/zipf.hh"
+
+namespace {
+
+using namespace recshard;
+
+// ---------------------------------------------------------------- Zipf
+
+/** Property sweep: empirical Zipf frequencies match the exact pmf. */
+class ZipfPmfTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 double>>
+{
+};
+
+TEST_P(ZipfPmfTest, EmpiricalMatchesExactPmf)
+{
+    const auto [n, alpha] = GetParam();
+    ZipfSampler zipf(n, alpha);
+    Rng rng(0xfeedULL + n * 31 + static_cast<std::uint64_t>(alpha * 10));
+
+    const int draws = 200000;
+    std::vector<std::uint64_t> counts(n, 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t k = zipf(rng);
+        ASSERT_LT(k, n);
+        ++counts[k];
+    }
+    // Compare the head of the distribution (top 10 ranks) where
+    // expected counts are large enough for tight bounds.
+    for (std::uint64_t k = 0; k < std::min<std::uint64_t>(n, 10); ++k) {
+        const double expected = zipf.pmf(k) * draws;
+        if (expected < 50)
+            continue;
+        EXPECT_NEAR(counts[k], expected, 6 * std::sqrt(expected))
+            << "rank " << k << " n=" << n << " alpha=" << alpha;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfPmfTest,
+    ::testing::Values(
+        std::make_tuple(std::uint64_t{10}, 0.0),
+        std::make_tuple(std::uint64_t{10}, 0.5),
+        std::make_tuple(std::uint64_t{100}, 0.8),
+        std::make_tuple(std::uint64_t{100}, 1.0),
+        std::make_tuple(std::uint64_t{1000}, 1.2),
+        std::make_tuple(std::uint64_t{1000}, 1.6),
+        std::make_tuple(std::uint64_t{5000}, 2.0)));
+
+TEST(Zipf, LargeSupportStaysInRange)
+{
+    const std::uint64_t n = 3'000'000'000ULL; // beyond 32 bits
+    ZipfSampler zipf(n, 1.1);
+    Rng rng(42);
+    std::uint64_t max_seen = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t k = zipf(rng);
+        ASSERT_LT(k, n);
+        max_seen = std::max(max_seen, k);
+    }
+    // Skewed draw should still produce some deep-tail ranks.
+    EXPECT_GT(max_seen, 1'000'000ULL);
+}
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    ZipfSampler zipf(16, 0.0);
+    Rng rng(7);
+    std::vector<int> counts(16, 0);
+    const int draws = 64000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[zipf(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, draws / 16, 6 * std::sqrt(draws / 16.0));
+}
+
+TEST(Zipf, StrongerAlphaConcentratesHead)
+{
+    Rng rng(9);
+    auto head_mass = [&](double alpha) {
+        ZipfSampler zipf(10000, alpha);
+        int head = 0;
+        const int draws = 50000;
+        for (int i = 0; i < draws; ++i)
+            head += zipf(rng) < 100;
+        return static_cast<double>(head) / draws;
+    };
+    const double weak = head_mass(0.5);
+    const double strong = head_mass(1.5);
+    EXPECT_LT(weak, strong);
+    EXPECT_GT(strong, 0.9); // alpha=1.5: top-1% rows dominate
+}
+
+TEST(Zipf, RejectsInvalidParameters)
+{
+    EXPECT_EXIT(ZipfSampler(0, 1.0), ::testing::ExitedWithCode(1),
+                "support");
+    EXPECT_EXIT(ZipfSampler(10, -0.1), ::testing::ExitedWithCode(1),
+                "exponent");
+}
+
+TEST(Zipf, ExactCdfIsMonotoneToOne)
+{
+    ZipfSampler zipf(50, 1.3);
+    const auto cdf = zipf.exactCdf();
+    ASSERT_EQ(cdf.size(), 50u);
+    for (std::size_t i = 1; i < cdf.size(); ++i)
+        EXPECT_GT(cdf[i], cdf[i - 1]);
+    EXPECT_NEAR(cdf.back(), 1.0, 1e-9);
+}
+
+// ----------------------------------------------------------- LogNormal
+
+class LogNormalMeanTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(LogNormalMeanTest, MeanMatchesTarget)
+{
+    const auto [mean, sigma] = GetParam();
+    LogNormal dist(mean, sigma);
+    Rng rng(1234);
+    RunningStat acc;
+    for (int i = 0; i < 400000; ++i)
+        acc.push(dist(rng));
+    // Heavier tails need looser tolerance.
+    EXPECT_NEAR(acc.mean(), mean, mean * (0.01 + 0.05 * sigma));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LogNormalMeanTest,
+    ::testing::Values(std::make_tuple(1.0, 0.0),
+                      std::make_tuple(5.0, 0.5),
+                      std::make_tuple(20.0, 1.0),
+                      std::make_tuple(190.0, 1.2)));
+
+TEST(PoolingDist, RespectsCapAndMean)
+{
+    PoolingDist dist(30.0, 0.8, 200);
+    Rng rng(55);
+    RunningStat acc;
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint32_t p = dist(rng);
+        ASSERT_LE(p, 200u);
+        acc.push(p);
+    }
+    // Cap truncation pulls the mean slightly below target.
+    EXPECT_NEAR(acc.mean(), 30.0, 3.0);
+}
+
+TEST(PoolingDist, ZeroSigmaIsConstant)
+{
+    PoolingDist dist(7.0, 0.0, 100);
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(dist(rng), 7u);
+}
+
+// -------------------------------------------------------- FrequencyCdf
+
+FrequencyCdf
+makeCdf()
+{
+    // Rows: 100 total; counts 50, 25, 15, 10 for rows 7, 3, 9, 1.
+    return FrequencyCdf(100, {{3, 25}, {7, 50}, {1, 10}, {9, 15}});
+}
+
+TEST(FrequencyCdf, RankingAndTotals)
+{
+    const auto cdf = makeCdf();
+    EXPECT_EQ(cdf.totalAccesses(), 100u);
+    EXPECT_EQ(cdf.touchedRows(), 4u);
+    EXPECT_EQ(cdf.hashSize(), 100u);
+    EXPECT_DOUBLE_EQ(cdf.unusedFraction(), 0.96);
+    const auto &ranked = cdf.rankedRows();
+    ASSERT_EQ(ranked.size(), 4u);
+    EXPECT_EQ(ranked[0], 7u);
+    EXPECT_EQ(ranked[1], 3u);
+    EXPECT_EQ(ranked[2], 9u);
+    EXPECT_EQ(ranked[3], 1u);
+    EXPECT_EQ(cdf.countAtRank(0), 50u);
+    EXPECT_EQ(cdf.countAtRank(3), 10u);
+}
+
+TEST(FrequencyCdf, AccessFractionIsCdf)
+{
+    const auto cdf = makeCdf();
+    EXPECT_DOUBLE_EQ(cdf.accessFraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.accessFraction(1), 0.50);
+    EXPECT_DOUBLE_EQ(cdf.accessFraction(2), 0.75);
+    EXPECT_DOUBLE_EQ(cdf.accessFraction(3), 0.90);
+    EXPECT_DOUBLE_EQ(cdf.accessFraction(4), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.accessFraction(50), 1.0);
+}
+
+TEST(FrequencyCdf, RowsForFractionIsInverse)
+{
+    const auto cdf = makeCdf();
+    EXPECT_EQ(cdf.rowsForFraction(0.0), 0u);
+    EXPECT_EQ(cdf.rowsForFraction(0.25), 1u);
+    EXPECT_EQ(cdf.rowsForFraction(0.50), 1u);
+    EXPECT_EQ(cdf.rowsForFraction(0.51), 2u);
+    EXPECT_EQ(cdf.rowsForFraction(0.75), 2u);
+    EXPECT_EQ(cdf.rowsForFraction(0.90), 3u);
+    EXPECT_EQ(cdf.rowsForFraction(1.0), 4u);
+}
+
+TEST(FrequencyCdf, RoundTripPropertyOnRandomCounts)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::uint64_t touched = rng.uniformInt(1, 200);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+        for (std::uint64_t r = 0; r < touched; ++r)
+            counts.push_back({r, static_cast<std::uint64_t>(
+                rng.uniformInt(1, 1000))});
+        FrequencyCdf cdf(1000, counts);
+        for (double p : {0.1, 0.25, 0.5, 0.9, 0.999, 1.0}) {
+            const auto k = cdf.rowsForFraction(p);
+            // Minimality: k rows cover p, k-1 rows do not.
+            EXPECT_GE(cdf.accessFraction(k) + 1e-12, p);
+            if (k > 0)
+                EXPECT_LT(cdf.accessFraction(k - 1), p);
+        }
+    }
+}
+
+TEST(FrequencyCdf, IcdfStepsAreMonotone)
+{
+    const auto cdf = makeCdf();
+    const auto steps = cdf.icdfSteps(100);
+    ASSERT_EQ(steps.size(), 101u);
+    EXPECT_EQ(steps.front(), 0u);
+    EXPECT_EQ(steps.back(), 4u);
+    for (std::size_t i = 1; i < steps.size(); ++i)
+        EXPECT_LE(steps[i - 1], steps[i]);
+}
+
+TEST(FrequencyCdf, EmptyCdfBehaves)
+{
+    FrequencyCdf cdf;
+    EXPECT_EQ(cdf.totalAccesses(), 0u);
+    EXPECT_EQ(cdf.rowsForFraction(0.5), 0u);
+    EXPECT_DOUBLE_EQ(cdf.accessFraction(10), 1.0);
+}
+
+TEST(FrequencyCdf, RejectsTooManyRows)
+{
+    EXPECT_EXIT(FrequencyCdf(1, {{0, 3}, {1, 2}}),
+                ::testing::ExitedWithCode(1), "hash size");
+}
+
+} // namespace

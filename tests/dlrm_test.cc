@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the miniature DLRM stack: MLP backprop (gradient
+ * checks), embedding bags, end-to-end training, and the functional
+ * invisibility of the remapping layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/dlrm/model.hh"
+#include "recshard/profiler/profiler.hh"
+
+namespace {
+
+using namespace recshard;
+
+TEST(Mlp, ForwardShapesAndDeterminism)
+{
+    Rng rng(1);
+    Mlp mlp({4, 8, 2}, rng);
+    EXPECT_EQ(mlp.inputDim(), 4u);
+    EXPECT_EQ(mlp.outputDim(), 2u);
+    std::vector<float> x(4 * 3, 0.5f);
+    const auto y1 = mlp.forward(x, 3);
+    const auto y2 = mlp.forward(x, 3);
+    ASSERT_EQ(y1.size(), 6u);
+    EXPECT_EQ(y1, y2);
+}
+
+TEST(Mlp, NumericalGradientCheck)
+{
+    // Finite-difference check of d(loss)/d(input) with
+    // loss = sum(output). Run in double-ish tolerance on floats.
+    Rng rng(7);
+    Mlp mlp({3, 5, 2}, rng);
+    const std::uint32_t batch = 2;
+    std::vector<float> x = {0.3f, -0.2f, 0.9f, -0.5f, 0.1f, 0.4f};
+
+    const auto y = mlp.forward(x, batch);
+    std::vector<float> gout(y.size(), 1.0f);
+    const auto gin = mlp.backward(gout, batch);
+
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        std::vector<float> xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        Rng rng2(7);
+        Mlp fresh(
+            {3, 5, 2}, rng2); // same weights as `mlp` pre-update
+        const auto yp = fresh.forward(xp, batch);
+        const auto ym = fresh.forward(xm, batch);
+        float sp = 0, sm = 0;
+        for (std::size_t k = 0; k < yp.size(); ++k) {
+            sp += yp[k];
+            sm += ym[k];
+        }
+        const float numeric = (sp - sm) / (2 * eps);
+        EXPECT_NEAR(gin[i], numeric, 2e-2f) << "input " << i;
+    }
+}
+
+TEST(Mlp, SgdReducesRegressionLoss)
+{
+    // Fit y = relu-net(x) to a fixed random linear target.
+    Rng rng(3);
+    Mlp mlp({2, 16, 1}, rng);
+    Rng data_rng(11);
+    auto batch_loss = [&](bool train) {
+        float total = 0;
+        const std::uint32_t n = 32;
+        std::vector<float> x(2 * n), grad(n);
+        for (std::uint32_t s = 0; s < n; ++s) {
+            x[2 * s] = static_cast<float>(data_rng.uniform(-1, 1));
+            x[2 * s + 1] =
+                static_cast<float>(data_rng.uniform(-1, 1));
+        }
+        auto y = mlp.forward(x, n);
+        for (std::uint32_t s = 0; s < n; ++s) {
+            const float target = 2.0f * x[2 * s] -
+                1.0f * x[2 * s + 1] + 0.5f;
+            const float err = y[s] - target;
+            total += err * err;
+            grad[s] = 2 * err / n;
+        }
+        if (train) {
+            mlp.backward(grad, n);
+            mlp.sgdStep(0.05f);
+        }
+        return total / n;
+    };
+    const float initial = batch_loss(false);
+    for (int step = 0; step < 300; ++step)
+        batch_loss(true);
+    const float trained = batch_loss(false);
+    EXPECT_LT(trained, initial * 0.1f);
+}
+
+TEST(EmbeddingBag, SumPoolingMatchesManualComputation)
+{
+    Rng rng(5);
+    EmbeddingBag emb(10, 4, rng);
+    FeatureBatch fb;
+    fb.offsets = {0, 2, 2, 3}; // sample 1 absent
+    fb.indices = {3, 7, 3};
+    const auto out = emb.forward(fb);
+    ASSERT_EQ(out.size(), 12u);
+    for (std::uint32_t d = 0; d < 4; ++d) {
+        EXPECT_FLOAT_EQ(out[d], emb.row(3)[d] + emb.row(7)[d]);
+        EXPECT_FLOAT_EQ(out[4 + d], 0.0f); // NULL sample -> zeros
+        EXPECT_FLOAT_EQ(out[8 + d], emb.row(3)[d]);
+    }
+}
+
+TEST(EmbeddingBag, SparseSgdTouchesOnlyAccessedRows)
+{
+    Rng rng(9);
+    EmbeddingBag emb(6, 2, rng);
+    std::vector<float> before(6 * 2);
+    for (std::uint64_t r = 0; r < 6; ++r)
+        for (std::uint32_t d = 0; d < 2; ++d)
+            before[r * 2 + d] = emb.row(r)[d];
+
+    FeatureBatch fb;
+    fb.offsets = {0, 1};
+    fb.indices = {2};
+    emb.forward(fb);
+    emb.backwardSgd({1.0f, -1.0f}, 0.1f);
+
+    for (std::uint64_t r = 0; r < 6; ++r) {
+        for (std::uint32_t d = 0; d < 2; ++d) {
+            if (r == 2) {
+                const float expect = before[r * 2 + d] -
+                    0.1f * (d == 0 ? 1.0f : -1.0f);
+                EXPECT_FLOAT_EQ(emb.row(r)[d], expect);
+            } else {
+                EXPECT_FLOAT_EQ(emb.row(r)[d], before[r * 2 + d]);
+            }
+        }
+    }
+}
+
+TEST(Labeler, BalancedAndDeterministic)
+{
+    const ModelSpec spec = makeTinyModel(4, 300, 21);
+    SyntheticDataset data(spec, 33);
+    SyntheticLabeler labeler(8, 99);
+    const LabeledBatch a = labeler.label(data, 512, 0);
+    const LabeledBatch b = labeler.label(data, 512, 0);
+    EXPECT_EQ(a.labels, b.labels);
+    float positives = 0;
+    for (const float y : a.labels)
+        positives += y;
+    const float rate = positives / 512.0f;
+    EXPECT_GT(rate, 0.2f);
+    EXPECT_LT(rate, 0.8f);
+}
+
+TEST(Dlrm, TrainingReducesLoss)
+{
+    const ModelSpec spec = makeTinyModel(4, 500, 77);
+    SyntheticDataset data(spec, 55);
+    DlrmConfig cfg;
+    cfg.numDense = 6;
+    cfg.embDim = 8;
+    cfg.learningRate = 0.1f;
+    SyntheticLabeler labeler(cfg.numDense, 1234);
+    DlrmModel model(spec, cfg);
+
+    const LabeledBatch holdout = labeler.label(data, 256, 10'000);
+    const float initial = model.evaluate(holdout);
+    for (std::uint64_t step = 0; step < 600; ++step) {
+        const LabeledBatch batch = labeler.label(data, 128, step);
+        model.trainStep(batch);
+    }
+    const float trained = model.evaluate(holdout);
+    EXPECT_LT(trained, initial - 0.05f)
+        << "training failed to reduce held-out BCE";
+    EXPECT_LT(trained, 0.65f); // clearly better than chance (0.693)
+}
+
+TEST(Dlrm, PredictProbabilitiesInRange)
+{
+    const ModelSpec spec = makeTinyModel(3, 200, 13);
+    SyntheticDataset data(spec, 5);
+    DlrmConfig cfg;
+    cfg.numDense = 4;
+    cfg.embDim = 8;
+    SyntheticLabeler labeler(cfg.numDense, 3);
+    DlrmModel model(spec, cfg);
+    const LabeledBatch batch = labeler.label(data, 64, 0);
+    for (const float p : model.predict(batch)) {
+        EXPECT_GE(p, 0.0f);
+        EXPECT_LE(p, 1.0f);
+    }
+}
+
+TEST(Dlrm, RemappingLayerIsFunctionallyInvisible)
+{
+    // Train two identical models, one with remapped tables; their
+    // losses must agree bit-for-bit (the paper's remap layer is a
+    // pure relocation, executed during data loading).
+    const ModelSpec spec = makeTinyModel(3, 400, 31);
+    SyntheticDataset data(spec, 17);
+    DlrmConfig cfg;
+    cfg.numDense = 5;
+    cfg.embDim = 8;
+    SyntheticLabeler labeler(cfg.numDense, 7);
+
+    DlrmModel plain(spec, cfg);
+    DlrmModel remapped(spec, cfg);
+
+    // Remap each table: hottest half of profiled rows to "HBM".
+    const auto profiles = profileDataset(
+        SyntheticDataset(spec, 17), 5000, 1024);
+    std::vector<RemapTable> remaps;
+    for (std::uint32_t j = 0; j < spec.numFeatures(); ++j) {
+        remaps.push_back(RemapTable::build(
+            spec.features[j], profiles[j].cdf,
+            spec.features[j].hashSize / 2));
+    }
+    remapped.applyRemaps(std::move(remaps));
+
+    for (std::uint64_t step = 0; step < 20; ++step) {
+        const LabeledBatch batch = labeler.label(data, 64, step);
+        const float a = plain.trainStep(batch);
+        const float b = remapped.trainStep(batch);
+        EXPECT_FLOAT_EQ(a, b) << "step " << step;
+    }
+}
+
+TEST(Dlrm, RejectsDimMismatch)
+{
+    ModelSpec spec = makeTinyModel(2, 100, 3);
+    DlrmConfig cfg;
+    cfg.embDim = 16; // tiny model uses dim 8
+    EXPECT_EXIT(DlrmModel(spec, cfg), ::testing::ExitedWithCode(1),
+                "dim");
+}
+
+} // namespace

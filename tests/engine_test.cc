@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the trace-replay execution engine: tier accounting,
+ * timing statistics, and cross-plan traffic conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/engine/execution.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/sharding/baselines.hh"
+#include "recshard/sharding/recshard_solver.hh"
+
+namespace {
+
+using namespace recshard;
+
+struct Fixture
+{
+    ModelSpec model;
+    SyntheticDataset data;
+    std::vector<EmbProfile> profiles;
+    SystemSpec sys;
+
+    explicit Fixture(std::uint32_t gpus = 2, std::uint64_t seed = 7)
+        : model(makeTinyModel(6, 2000, seed)), data(model, seed + 1),
+          profiles(profileDataset(data, 10000, 2048)),
+          sys(SystemSpec::paper(gpus, 1.0))
+    {
+    }
+};
+
+/** A plan putting every table wholly in one tier on round-robin GPUs. */
+ShardingPlan
+uniformPlan(const ModelSpec &model, std::uint32_t gpus, bool in_hbm)
+{
+    ShardingPlan plan;
+    plan.strategy = in_hbm ? "all-hbm" : "all-uvm";
+    plan.tables.resize(model.numFeatures());
+    for (std::uint32_t j = 0; j < model.numFeatures(); ++j) {
+        plan.tables[j].gpu = j % gpus;
+        plan.tables[j].hbmRows = in_hbm ? model.features[j].hashSize
+                                        : 0;
+        plan.tables[j].hbmAccessFraction = in_hbm ? 1.0 : 0.0;
+    }
+    return plan;
+}
+
+TEST(Engine, AllHbmPlanHasNoUvmTraffic)
+{
+    Fixture fx;
+    const ShardingPlan plan = uniformPlan(fx.model, 2, true);
+    ExecutionEngine engine(fx.data, fx.sys, EmbCostModel(fx.sys));
+    ReplayConfig cfg;
+    cfg.batchSize = 512;
+    cfg.warmupIterations = 1;
+    cfg.measureIterations = 4;
+
+    const auto results = engine.replay(
+        {&plan},
+        {ExecutionEngine::buildResolvers(fx.model, plan,
+                                         fx.profiles)},
+        cfg);
+    ASSERT_EQ(results.size(), 1u);
+    const ReplayResult &r = results[0];
+    EXPECT_EQ(r.uvmAccessesPerGpuIter(), 0.0);
+    EXPECT_GT(r.hbmAccessesPerGpuIter(), 0.0);
+    EXPECT_EQ(r.uvmAccessFraction(), 0.0);
+    EXPECT_EQ(r.iterations, 4u);
+}
+
+TEST(Engine, AllUvmPlanHasNoHbmTraffic)
+{
+    Fixture fx;
+    const ShardingPlan plan = uniformPlan(fx.model, 2, false);
+    ExecutionEngine engine(fx.data, fx.sys, EmbCostModel(fx.sys));
+    ReplayConfig cfg;
+    cfg.batchSize = 512;
+    cfg.warmupIterations = 0;
+    cfg.measureIterations = 3;
+
+    const auto results = engine.replay(
+        {&plan},
+        {ExecutionEngine::buildResolvers(fx.model, plan,
+                                         fx.profiles)},
+        cfg);
+    EXPECT_EQ(results[0].hbmAccessesPerGpuIter(), 0.0);
+    EXPECT_DOUBLE_EQ(results[0].uvmAccessFraction(), 1.0);
+}
+
+TEST(Engine, SameTrafficAcrossPlans)
+{
+    Fixture fx;
+    const ShardingPlan hbm_plan = uniformPlan(fx.model, 2, true);
+    const ShardingPlan uvm_plan = uniformPlan(fx.model, 2, false);
+    ExecutionEngine engine(fx.data, fx.sys, EmbCostModel(fx.sys));
+    ReplayConfig cfg;
+    cfg.batchSize = 256;
+    cfg.warmupIterations = 1;
+    cfg.measureIterations = 5;
+
+    const auto results = engine.replay(
+        {&hbm_plan, &uvm_plan},
+        {ExecutionEngine::buildResolvers(fx.model, hbm_plan,
+                                         fx.profiles),
+         ExecutionEngine::buildResolvers(fx.model, uvm_plan,
+                                         fx.profiles)},
+        cfg);
+    // Both plans replay identical generated traffic: total access
+    // counts match exactly.
+    auto total = [](const ReplayResult &r) {
+        std::uint64_t t = 0;
+        for (const auto &g : r.traffic)
+            t += g.hbmAccesses + g.uvmAccesses;
+        return t;
+    };
+    EXPECT_EQ(total(results[0]), total(results[1]));
+}
+
+TEST(Engine, TimesMatchCostModel)
+{
+    Fixture fx;
+    const ShardingPlan plan = uniformPlan(fx.model, 2, true);
+    const EmbCostModel cost(fx.sys);
+    ExecutionEngine engine(fx.data, fx.sys, cost);
+    ReplayConfig cfg;
+    cfg.batchSize = 512;
+    cfg.warmupIterations = 0;
+    cfg.measureIterations = 1;
+
+    const auto results = engine.replay(
+        {&plan},
+        {ExecutionEngine::buildResolvers(fx.model, plan,
+                                         fx.profiles)},
+        cfg);
+    const ReplayResult &r = results[0];
+    // With one measured iteration, each GPU's mean time must equal
+    // the cost model applied to its byte totals.
+    for (std::uint32_t m = 0; m < r.gpus; ++m) {
+        EXPECT_NEAR(r.gpuMeanTime[m],
+                    cost.time(r.traffic[m].hbmBytes,
+                              r.traffic[m].uvmBytes),
+                    1e-15);
+    }
+    EXPECT_NEAR(r.meanBottleneckTime, r.gpuTimeSummary.max, 1e-15);
+}
+
+TEST(Engine, ImbalancedPlanHasWorseBottleneckAndStddev)
+{
+    Fixture fx;
+    // Balanced: round robin. Imbalanced: everything on GPU 0.
+    const ShardingPlan balanced = uniformPlan(fx.model, 2, true);
+    ShardingPlan lopsided = uniformPlan(fx.model, 1, true);
+    lopsided.strategy = "lopsided";
+
+    ExecutionEngine engine(fx.data, fx.sys, EmbCostModel(fx.sys));
+    ReplayConfig cfg;
+    cfg.batchSize = 512;
+    cfg.warmupIterations = 1;
+    cfg.measureIterations = 4;
+
+    const auto results = engine.replay(
+        {&balanced, &lopsided},
+        {ExecutionEngine::buildResolvers(fx.model, balanced,
+                                         fx.profiles),
+         ExecutionEngine::buildResolvers(fx.model, lopsided,
+                                         fx.profiles)},
+        cfg);
+    EXPECT_LT(results[0].meanBottleneckTime,
+              results[1].meanBottleneckTime);
+    EXPECT_LT(results[0].gpuTimeSummary.stddev,
+              results[1].gpuTimeSummary.stddev);
+}
+
+TEST(Engine, SplitPlanUvmFractionTracksProfileEstimate)
+{
+    // One strongly skewed feature, half its hot rows in HBM: the
+    // replayed UVM fraction should be close to 1 - pct estimated
+    // from the profile CDF.
+    ModelSpec model = makeTinyModel(1, 5000, 3);
+    model.features[0].alpha = 1.3;
+    model.features[0].cardinality = 200000;
+    model.features[0].coverage = 1.0;
+    model.features[0].meanPool = 20.0;
+    SyntheticDataset data(model, 11);
+    const auto profiles = profileDataset(data, 30000, 4096);
+    const SystemSpec sys = SystemSpec::paper(1, 1.0);
+
+    ShardingPlan plan;
+    plan.strategy = "half-split";
+    plan.tables.resize(1);
+    plan.tables[0].gpu = 0;
+    plan.tables[0].hbmRows = profiles[0].cdf.rowsForFraction(0.8);
+    plan.tables[0].hbmAccessFraction = 0.8;
+
+    ExecutionEngine engine(data, sys, EmbCostModel(sys));
+    ReplayConfig cfg;
+    cfg.batchSize = 2048;
+    cfg.warmupIterations = 0;
+    cfg.measureIterations = 5;
+    const auto results = engine.replay(
+        {&plan},
+        {ExecutionEngine::buildResolvers(model, plan, profiles)},
+        cfg);
+    EXPECT_NEAR(results[0].uvmAccessFraction(), 0.2, 0.05);
+}
+
+TEST(Engine, RejectsMismatchedInputs)
+{
+    Fixture fx;
+    const ShardingPlan plan = uniformPlan(fx.model, 2, true);
+    ExecutionEngine engine(fx.data, fx.sys, EmbCostModel(fx.sys));
+    ReplayConfig cfg;
+    EXPECT_EXIT(engine.replay({&plan}, {}, cfg),
+                ::testing::ExitedWithCode(1), "resolver");
+    EXPECT_EXIT(engine.replay({}, {}, cfg),
+                ::testing::ExitedWithCode(1), "no plans");
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the two-phase simplex LP solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "recshard/base/random.hh"
+#include "recshard/lp/problem.hh"
+#include "recshard/lp/simplex.hh"
+
+namespace {
+
+using namespace recshard;
+
+TEST(Simplex, TextbookTwoVariable)
+{
+    // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18
+    // => min -3x - 5y; optimum at (2, 6) with value -36.
+    LpProblem lp;
+    const int x = lp.addVariable(0, kLpInf, -3, "x");
+    const int y = lp.addVariable(0, kLpInf, -5, "y");
+    lp.addConstraint({{x, 1}}, Relation::LE, 4);
+    lp.addConstraint({{y, 2}}, Relation::LE, 12);
+    lp.addConstraint({{x, 3}, {y, 2}}, Relation::LE, 18);
+
+    const LpSolution sol = SimplexSolver(lp).solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+    EXPECT_NEAR(sol.values[x], 2.0, 1e-7);
+    EXPECT_NEAR(sol.values[y], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityAndGreaterConstraints)
+{
+    // min 2x + 3y  s.t. x + y == 10, x >= 4  => (x=6? no: obj prefers
+    // larger x since 2 < 3) => x as large as possible: x=10,y=0 but
+    // x >= 4 non-binding; optimum (10, 0) value 20.
+    LpProblem lp;
+    const int x = lp.addVariable(0, kLpInf, 2);
+    const int y = lp.addVariable(0, kLpInf, 3);
+    lp.addConstraint({{x, 1}, {y, 1}}, Relation::EQ, 10);
+    lp.addConstraint({{x, 1}}, Relation::GE, 4);
+    const LpSolution sol = SimplexSolver(lp).solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 20.0, 1e-7);
+    EXPECT_NEAR(sol.values[x], 10.0, 1e-7);
+    EXPECT_NEAR(sol.values[y], 0.0, 1e-7);
+}
+
+TEST(Simplex, VariableBoundsRespected)
+{
+    // min -x - y with x in [1, 3], y in [0.5, 2] => (3, 2).
+    LpProblem lp;
+    const int x = lp.addVariable(1, 3, -1);
+    const int y = lp.addVariable(0.5, 2, -1);
+    const LpSolution sol = SimplexSolver(lp).solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.values[x], 3.0, 1e-7);
+    EXPECT_NEAR(sol.values[y], 2.0, 1e-7);
+    EXPECT_NEAR(sol.objective, -5.0, 1e-7);
+}
+
+TEST(Simplex, BoundOverridesTightenTheModel)
+{
+    LpProblem lp;
+    const int x = lp.addVariable(0, 10, -1);
+    SimplexSolver solver(lp);
+    const LpSolution wide = solver.solve();
+    ASSERT_EQ(wide.status, LpStatus::Optimal);
+    EXPECT_NEAR(wide.values[x], 10.0, 1e-7);
+
+    const LpSolution tight = solver.solve({0}, {4});
+    ASSERT_EQ(tight.status, LpStatus::Optimal);
+    EXPECT_NEAR(tight.values[x], 4.0, 1e-7);
+
+    const LpSolution empty = solver.solve({5}, {4});
+    EXPECT_EQ(empty.status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsInfeasible)
+{
+    LpProblem lp;
+    const int x = lp.addVariable(0, kLpInf, 1);
+    lp.addConstraint({{x, 1}}, Relation::GE, 5);
+    lp.addConstraint({{x, 1}}, Relation::LE, 3);
+    EXPECT_EQ(SimplexSolver(lp).solve().status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded)
+{
+    LpProblem lp;
+    const int x = lp.addVariable(0, kLpInf, -1);
+    lp.addConstraint({{x, -1}}, Relation::LE, 0); // no upper limit
+    EXPECT_EQ(SimplexSolver(lp).solve().status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization)
+{
+    // x - y <= -2 with min x + y => y >= x + 2 => (0, 2).
+    LpProblem lp;
+    const int x = lp.addVariable(0, kLpInf, 1);
+    const int y = lp.addVariable(0, kLpInf, 1);
+    lp.addConstraint({{x, 1}, {y, -1}}, Relation::LE, -2);
+    const LpSolution sol = SimplexSolver(lp).solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.values[x], 0.0, 1e-7);
+    EXPECT_NEAR(sol.values[y], 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates)
+{
+    // Multiple constraints meeting at the same vertex.
+    LpProblem lp;
+    const int x = lp.addVariable(0, kLpInf, -1);
+    const int y = lp.addVariable(0, kLpInf, -1);
+    lp.addConstraint({{x, 1}, {y, 1}}, Relation::LE, 1);
+    lp.addConstraint({{x, 1}}, Relation::LE, 1);
+    lp.addConstraint({{y, 1}}, Relation::LE, 1);
+    lp.addConstraint({{x, 2}, {y, 2}}, Relation::LE, 2);
+    const LpSolution sol = SimplexSolver(lp).solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -1.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualitiesSurvivePhase1)
+{
+    LpProblem lp;
+    const int x = lp.addVariable(0, kLpInf, 1);
+    const int y = lp.addVariable(0, kLpInf, 1);
+    lp.addConstraint({{x, 1}, {y, 1}}, Relation::EQ, 4);
+    lp.addConstraint({{x, 2}, {y, 2}}, Relation::EQ, 8); // redundant
+    const LpSolution sol = SimplexSolver(lp).solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 4.0, 1e-7);
+}
+
+TEST(Problem, RejectsBadInput)
+{
+    LpProblem lp;
+    EXPECT_EXIT(lp.addVariable(3, 2, 0), ::testing::ExitedWithCode(1),
+                "empty");
+    const int x = lp.addVariable(0, 1, 0);
+    (void)x;
+    EXPECT_DEATH(lp.addConstraint({{5, 1.0}}, Relation::LE, 1),
+                 "unknown variable");
+}
+
+/**
+ * Property: on random feasible bounded LPs, the simplex solution is
+ * feasible and no random feasible point beats it.
+ */
+class RandomLpTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomLpTest, OptimumDominatesRandomFeasiblePoints)
+{
+    Rng rng(1000 + GetParam());
+    const int n = static_cast<int>(rng.uniformInt(2, 6));
+    const int m = static_cast<int>(rng.uniformInt(1, 5));
+
+    LpProblem lp;
+    std::vector<double> ub(n);
+    for (int j = 0; j < n; ++j) {
+        ub[j] = rng.uniform(0.5, 5.0);
+        lp.addVariable(0, ub[j], -rng.uniform(0.1, 3.0));
+    }
+    std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+    std::vector<double> rhs(m);
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j)
+            rows[i][j] = rng.uniform(0.0, 2.0);
+        rhs[i] = rng.uniform(1.0, 8.0);
+        std::vector<LinearTerm> terms;
+        for (int j = 0; j < n; ++j)
+            terms.push_back({j, rows[i][j]});
+        lp.addConstraint(terms, Relation::LE, rhs[i]);
+    }
+
+    const LpSolution sol = SimplexSolver(lp).solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+
+    // Feasibility of the returned point.
+    for (int j = 0; j < n; ++j) {
+        EXPECT_GE(sol.values[j], -1e-7);
+        EXPECT_LE(sol.values[j], ub[j] + 1e-7);
+    }
+    for (int i = 0; i < m; ++i) {
+        double lhs = 0;
+        for (int j = 0; j < n; ++j)
+            lhs += rows[i][j] * sol.values[j];
+        EXPECT_LE(lhs, rhs[i] + 1e-6);
+    }
+
+    // Optimality against sampled feasible points.
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<double> x(n);
+        for (int j = 0; j < n; ++j)
+            x[j] = rng.uniform(0, ub[j]);
+        bool feasible = true;
+        for (int i = 0; i < m && feasible; ++i) {
+            double lhs = 0;
+            for (int j = 0; j < n; ++j)
+                lhs += rows[i][j] * x[j];
+            feasible = lhs <= rhs[i];
+        }
+        if (!feasible)
+            continue;
+        double obj = 0;
+        for (int j = 0; j < n; ++j)
+            obj += lp.variable(j).objCoef * x[j];
+        EXPECT_GE(obj, sol.objective - 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLpTest, ::testing::Range(0, 20));
+
+} // namespace

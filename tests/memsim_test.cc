@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the tiered-memory system spec and embedding cost model
+ * (paper Sections 4.2 and 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "recshard/memsim/system_spec.hh"
+
+namespace {
+
+using namespace recshard;
+
+TEST(SystemSpec, PaperDefaults)
+{
+    const SystemSpec sys = SystemSpec::paper();
+    EXPECT_EQ(sys.numGpus, 16u);
+    EXPECT_EQ(sys.hbm.capacityBytes, 24ULL * GB);
+    EXPECT_EQ(sys.uvm.capacityBytes, 128ULL * GB);
+    EXPECT_DOUBLE_EQ(sys.hbm.bandwidth, 1555.0 * GBps);
+    EXPECT_DOUBLE_EQ(sys.uvm.bandwidth, 12.8 * GBps);
+    // HBM is two orders of magnitude faster than UVM (Section 2).
+    EXPECT_GT(sys.hbm.bandwidth / sys.uvm.bandwidth, 100.0);
+    EXPECT_EQ(sys.totalHbmBytes(), 16ULL * 24ULL * GB);
+}
+
+TEST(SystemSpec, CapacityScaleOnlyAffectsCapacity)
+{
+    const SystemSpec sys = SystemSpec::paper(8, 1.0 / 16.0);
+    EXPECT_EQ(sys.numGpus, 8u);
+    EXPECT_EQ(sys.hbm.capacityBytes, 24ULL * GB / 16ULL);
+    EXPECT_DOUBLE_EQ(sys.hbm.bandwidth, 1555.0 * GBps);
+}
+
+TEST(SystemSpec, RejectsNonsense)
+{
+    EXPECT_EXIT(SystemSpec::paper(0), ::testing::ExitedWithCode(1),
+                "GPU");
+    SystemSpec sys = SystemSpec::paper();
+    sys.hbm.bandwidth = 0.0;
+    EXPECT_EXIT(sys.validate(), ::testing::ExitedWithCode(1),
+                "bandwidth");
+}
+
+TEST(TierSpec, TransferTime)
+{
+    const MemoryTierSpec tier{"HBM", GB, 2.0 * GBps};
+    EXPECT_DOUBLE_EQ(tier.transferTime(2'000'000'000ULL), 1.0);
+}
+
+TEST(CostModel, SumCombinesTierTimes)
+{
+    const SystemSpec sys = SystemSpec::paper();
+    const EmbCostModel model(sys);
+    const double t = model.time(1555ULL * GB / 1000, // 1 ms of HBM
+                                128ULL * GB / 10000); // 1 ms of UVM
+    EXPECT_NEAR(t, 2e-3, 1e-6);
+}
+
+TEST(CostModel, MaxCombineTakesSlowerTier)
+{
+    const SystemSpec sys = SystemSpec::paper();
+    const EmbCostModel model(sys, EmbCostModel::Combine::Max);
+    const double t = model.time(1555ULL * GB / 1000,
+                                128ULL * GB / 10000);
+    EXPECT_NEAR(t, 1e-3, 1e-6);
+}
+
+TEST(CostModel, EstimatedEmbCostMatchesConstraint11)
+{
+    const SystemSpec sys = SystemSpec::paper();
+    const EmbCostModel model(sys);
+    FeatureSpec f;
+    f.dim = 64;
+    f.bytesPerElement = 4;
+
+    const double avg_pool = 20.0;
+    const std::uint32_t batch = 16384;
+    const double pct = 0.75;
+    const double step_bytes = avg_pool * 256.0 * batch;
+    const double expected = pct * step_bytes / (1555.0 * GBps) +
+        (1 - pct) * step_bytes / (12.8 * GBps);
+    EXPECT_NEAR(model.estimatedEmbCost(f, avg_pool, pct, batch),
+                expected, 1e-12);
+}
+
+TEST(CostModel, AllHbmBeatsAnyUvm)
+{
+    const SystemSpec sys = SystemSpec::paper();
+    const EmbCostModel model(sys);
+    FeatureSpec f;
+    f.dim = 64;
+    f.bytesPerElement = 4;
+    const double all_hbm = model.estimatedEmbCost(f, 30, 1.0, 1024);
+    for (double pct : {0.0, 0.25, 0.5, 0.9, 0.99})
+        EXPECT_GT(model.estimatedEmbCost(f, 30, pct, 1024), all_hbm);
+}
+
+TEST(CostModel, RejectsBadFraction)
+{
+    const SystemSpec sys = SystemSpec::paper();
+    const EmbCostModel model(sys);
+    FeatureSpec f;
+    f.dim = 4;
+    f.bytesPerElement = 4;
+    EXPECT_EXIT(model.estimatedEmbCost(f, 1.0, 1.5, 16),
+                ::testing::ExitedWithCode(1), "fraction");
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the branch-and-bound MILP solver, including exhaustive
+ * cross-checks on random binary programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "recshard/base/random.hh"
+#include "recshard/milp/branch_bound.hh"
+
+namespace {
+
+using namespace recshard;
+
+TEST(Milp, KnapsackToy)
+{
+    // max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binaries.
+    // Optimal: a + c (weight 5, value 17) vs b + c (6, 20) -> b+c.
+    LpProblem lp;
+    const int a = lp.addVariable(0, 1, -10);
+    const int b = lp.addVariable(0, 1, -13);
+    const int c = lp.addVariable(0, 1, -7);
+    lp.addConstraint({{a, 3}, {b, 4}, {c, 2}}, Relation::LE, 6);
+
+    const MilpResult res = MilpSolver(lp, {a, b, c}).solve();
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_TRUE(res.provenOptimal);
+    EXPECT_NEAR(res.objective, -20.0, 1e-6);
+    EXPECT_NEAR(res.values[a], 0.0, 1e-6);
+    EXPECT_NEAR(res.values[b], 1.0, 1e-6);
+    EXPECT_NEAR(res.values[c], 1.0, 1e-6);
+}
+
+TEST(Milp, FractionalRelaxationGetsCut)
+{
+    // LP relaxation of max x+y st 2x + 2y <= 3 gives 1.5; the integer
+    // optimum is 1.
+    LpProblem lp;
+    const int x = lp.addVariable(0, 1, -1);
+    const int y = lp.addVariable(0, 1, -1);
+    lp.addConstraint({{x, 2}, {y, 2}}, Relation::LE, 3);
+    const MilpResult res = MilpSolver(lp, {x, y}).solve();
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.objective, -1.0, 1e-6);
+}
+
+TEST(Milp, MixedIntegerContinuous)
+{
+    // min 4i + z st i integer in [0,5], z >= 2.6 - i, z >= 0.
+    // i=0: z=2.6 cost 2.6; i=1: z=1.6 cost 5.6 -> optimum i=0.
+    LpProblem lp;
+    const int i = lp.addVariable(0, 5, 4);
+    const int z = lp.addVariable(0, kLpInf, 1);
+    lp.addConstraint({{z, 1}, {i, 1}}, Relation::GE, 2.6);
+    const MilpResult res = MilpSolver(lp, {i}).solve();
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.objective, 2.6, 1e-6);
+    EXPECT_NEAR(res.values[i], 0.0, 1e-6);
+}
+
+TEST(Milp, GeneralIntegerBranching)
+{
+    // min -x st 3x <= 10, x integer -> x = 3.
+    LpProblem lp;
+    const int x = lp.addVariable(0, kLpInf, -1);
+    lp.addConstraint({{x, 3}}, Relation::LE, 10);
+    const MilpResult res = MilpSolver(lp, {x}).solve();
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.values[x], 3.0, 1e-6);
+}
+
+TEST(Milp, InfeasibleIsReported)
+{
+    LpProblem lp;
+    const int x = lp.addVariable(0, 1, 1);
+    lp.addConstraint({{x, 1}}, Relation::GE, 2);
+    const MilpResult res = MilpSolver(lp, {x}).solve();
+    EXPECT_EQ(res.status, LpStatus::Infeasible);
+}
+
+TEST(Milp, EqualityOverBinariesForcesSelection)
+{
+    // Exactly one of three binaries, with distinct costs.
+    LpProblem lp;
+    const int a = lp.addVariable(0, 1, 3);
+    const int b = lp.addVariable(0, 1, 1);
+    const int c = lp.addVariable(0, 1, 2);
+    lp.addConstraint({{a, 1}, {b, 1}, {c, 1}}, Relation::EQ, 1);
+    const MilpResult res = MilpSolver(lp, {a, b, c}).solve();
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.values[b], 1.0, 1e-6);
+    EXPECT_NEAR(res.objective, 1.0, 1e-6);
+}
+
+TEST(Milp, NodeLimitDegradesGracefully)
+{
+    // A 20-binary knapsack with a 1-node budget: any incumbent that
+    // is returned must be integral and feasible; status must not
+    // claim proven optimality unless the gap closed.
+    Rng rng(5);
+    LpProblem lp;
+    std::vector<int> bins;
+    std::vector<double> weight(20);
+    for (int j = 0; j < 20; ++j) {
+        weight[j] = rng.uniform(1, 5);
+        bins.push_back(lp.addVariable(0, 1, -rng.uniform(1, 10)));
+    }
+    std::vector<LinearTerm> terms;
+    for (int j = 0; j < 20; ++j)
+        terms.push_back({bins[j], weight[j]});
+    lp.addConstraint(terms, Relation::LE, 20);
+
+    MilpOptions opts;
+    opts.nodeLimit = 1;
+    const MilpResult res = MilpSolver(lp, bins, opts).solve();
+    if (res.status == LpStatus::Optimal) {
+        double used = 0;
+        for (int j = 0; j < 20; ++j) {
+            const double v = res.values[bins[j]];
+            EXPECT_NEAR(v, std::round(v), 1e-6);
+            used += weight[j] * v;
+        }
+        EXPECT_LE(used, 20 + 1e-6);
+    }
+}
+
+/**
+ * Property: on random binary programs (<= 12 binaries) the solver
+ * matches exhaustive enumeration exactly.
+ */
+class RandomBinaryMilpTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomBinaryMilpTest, MatchesExhaustiveEnumeration)
+{
+    Rng rng(7000 + GetParam());
+    const int n = static_cast<int>(rng.uniformInt(3, 12));
+    const int m = static_cast<int>(rng.uniformInt(1, 5));
+
+    std::vector<double> obj(n);
+    std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+    std::vector<double> rhs(m);
+    std::vector<Relation> rel(m);
+
+    LpProblem lp;
+    std::vector<int> bins(n);
+    for (int j = 0; j < n; ++j) {
+        obj[j] = rng.uniform(-5, 5);
+        bins[j] = lp.addVariable(0, 1, obj[j]);
+    }
+    for (int i = 0; i < m; ++i) {
+        std::vector<LinearTerm> terms;
+        for (int j = 0; j < n; ++j) {
+            rows[i][j] = rng.uniform(-3, 3);
+            terms.push_back({bins[j], rows[i][j]});
+        }
+        rel[i] = rng.bernoulli(0.7) ? Relation::LE : Relation::GE;
+        rhs[i] = rng.uniform(-2, 6);
+        lp.addConstraint(terms, rel[i], rhs[i]);
+    }
+
+    // Exhaustive ground truth.
+    double best = kLpInf;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+        bool ok = true;
+        for (int i = 0; i < m && ok; ++i) {
+            double lhs = 0;
+            for (int j = 0; j < n; ++j)
+                if (mask & (1u << j))
+                    lhs += rows[i][j];
+            ok = rel[i] == Relation::LE ? lhs <= rhs[i] + 1e-9
+                                        : lhs >= rhs[i] - 1e-9;
+        }
+        if (!ok)
+            continue;
+        double val = 0;
+        for (int j = 0; j < n; ++j)
+            if (mask & (1u << j))
+                val += obj[j];
+        best = std::min(best, val);
+    }
+
+    const MilpResult res = MilpSolver(lp, bins).solve();
+    if (best == kLpInf) {
+        EXPECT_EQ(res.status, LpStatus::Infeasible)
+            << "solver found a solution to an infeasible program";
+    } else {
+        ASSERT_EQ(res.status, LpStatus::Optimal);
+        EXPECT_TRUE(res.provenOptimal);
+        EXPECT_NEAR(res.objective, best, 1e-5);
+        // The incumbent must itself be feasible and integral.
+        for (int j = 0; j < n; ++j) {
+            const double v = res.values[bins[j]];
+            EXPECT_NEAR(v, std::round(v), 1e-5);
+        }
+        for (int i = 0; i < m; ++i) {
+            double lhs = 0;
+            for (int j = 0; j < n; ++j)
+                lhs += rows[i][j] * res.values[bins[j]];
+            if (rel[i] == Relation::LE)
+                EXPECT_LE(lhs, rhs[i] + 1e-5);
+            else
+                EXPECT_GE(lhs, rhs[i] - 1e-5);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomBinaryMilpTest,
+                         ::testing::Range(0, 30));
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the Section 4.4 multi-tier generalization: bandwidth
+ * ordering, N-tier kernel times, and the optimality of the
+ * rank-greedy split.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "recshard/base/random.hh"
+#include "recshard/memsim/multi_tier.hh"
+
+namespace {
+
+using namespace recshard;
+
+TieredMemory
+hbmDramSsd()
+{
+    return TieredMemory({
+        MemoryTierSpec{"DRAM", 128 * GB, 12.8 * GBps},
+        MemoryTierSpec{"HBM", 24 * GB, 1555.0 * GBps},
+        MemoryTierSpec{"SSD", 2048ULL * GB, 2.0 * GBps},
+    });
+}
+
+TEST(TieredMemory, SortsByDescendingBandwidth)
+{
+    const TieredMemory mem = hbmDramSsd();
+    ASSERT_EQ(mem.numTiers(), 3u);
+    EXPECT_EQ(mem.tier(0).name, "HBM");
+    EXPECT_EQ(mem.tier(1).name, "DRAM");
+    EXPECT_EQ(mem.tier(2).name, "SSD");
+}
+
+TEST(TieredMemory, SumAndMaxTimes)
+{
+    const TieredMemory mem = hbmDramSsd();
+    // 1 ms on each tier.
+    const std::vector<std::uint64_t> bytes = {
+        static_cast<std::uint64_t>(1555.0 * GBps / 1000),
+        static_cast<std::uint64_t>(12.8 * GBps / 1000),
+        static_cast<std::uint64_t>(2.0 * GBps / 1000),
+    };
+    EXPECT_NEAR(mem.time(bytes), 3e-3, 1e-9);
+    EXPECT_NEAR(mem.time(bytes, EmbCostModel::Combine::Max), 1e-3,
+                1e-9);
+}
+
+TEST(TieredMemory, RejectsBadInput)
+{
+    EXPECT_EXIT(TieredMemory({}), ::testing::ExitedWithCode(1),
+                "tier");
+    EXPECT_EXIT(TieredMemory({MemoryTierSpec{"x", 1, 0.0}}),
+                ::testing::ExitedWithCode(1), "bandwidth");
+    const TieredMemory mem = hbmDramSsd();
+    EXPECT_EXIT(mem.time({1, 2}), ::testing::ExitedWithCode(1),
+                "tier byte counts");
+}
+
+TEST(MultiTierSplit, HottestRowsGoFastest)
+{
+    // 10 rows, counts 50..5 on rows 0..9 (rank == row id).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+    for (std::uint64_t r = 0; r < 10; ++r)
+        counts.push_back({r, 50 - 5 * r});
+    const FrequencyCdf cdf(10, counts);
+    const TieredMemory mem = hbmDramSsd();
+
+    const MultiTierSplit split = splitAcrossTiers(cdf, mem,
+                                                  {2, 3, 10});
+    EXPECT_EQ(split.rowsPerTier[0], 2u);
+    EXPECT_EQ(split.rowsPerTier[1], 3u);
+    EXPECT_EQ(split.rowsPerTier[2], 5u);
+    // Access shares are the CDF ranges of each rank block.
+    EXPECT_NEAR(split.accessFractionPerTier[0],
+                cdf.accessFraction(2), 1e-12);
+    EXPECT_NEAR(split.accessFractionPerTier[1],
+                cdf.accessFraction(5) - cdf.accessFraction(2),
+                1e-12);
+    EXPECT_NEAR(split.accessFractionPerTier[0] +
+                    split.accessFractionPerTier[1] +
+                    split.accessFractionPerTier[2],
+                1.0, 1e-12);
+}
+
+TEST(MultiTierSplit, RejectsInsufficientBudget)
+{
+    const FrequencyCdf cdf(10, {{0, 5}});
+    const TieredMemory mem = hbmDramSsd();
+    EXPECT_EXIT(splitAcrossTiers(cdf, mem, {2, 3, 4}),
+                ::testing::ExitedWithCode(1), "cannot hold");
+}
+
+/**
+ * Property: on random CDFs and budgets, the rank-greedy split's
+ * expected cost never loses to random permutation-based splits.
+ */
+class GreedySplitOptimalityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GreedySplitOptimalityTest, BeatsRandomAssignments)
+{
+    Rng rng(4200 + GetParam());
+    const std::uint64_t rows = rng.uniformInt(5, 60);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+    for (std::uint64_t r = 0; r < rows; ++r)
+        counts.push_back({r, static_cast<std::uint64_t>(
+                                 rng.uniformInt(1, 500))});
+    const FrequencyCdf cdf(rows, counts);
+    const TieredMemory mem = hbmDramSsd();
+    std::vector<std::uint64_t> budget = {
+        static_cast<std::uint64_t>(rng.uniformInt(0, 20)),
+        static_cast<std::uint64_t>(rng.uniformInt(0, 30)),
+        rows, // the last tier always fits everything
+    };
+    const MultiTierSplit greedy = splitAcrossTiers(cdf, mem, budget);
+
+    // Random row->tier assignments respecting the same budgets.
+    const auto &ranked = cdf.rankedRows();
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<std::uint64_t> perm(rows);
+        std::iota(perm.begin(), perm.end(), 0);
+        for (std::uint64_t i = rows; i > 1; --i)
+            std::swap(perm[i - 1],
+                      perm[rng.uniformInt(0, static_cast<std::int64_t>(
+                                                 i) - 1)]);
+        // First budget[0] ranks in perm order go to tier 0, etc.
+        double cost = 0.0;
+        std::size_t tier = 0;
+        std::uint64_t left = budget[0];
+        for (std::uint64_t i = 0; i < rows; ++i) {
+            while (left == 0 && tier + 1 < mem.numTiers())
+                left = budget[++tier];
+            --left;
+            const std::uint64_t rank = perm[i];
+            const double share = rank < ranked.size()
+                ? static_cast<double>(cdf.countAtRank(rank)) /
+                      static_cast<double>(cdf.totalAccesses())
+                : 0.0;
+            cost += share / mem.tier(tier).bandwidth;
+        }
+        EXPECT_LE(greedy.expectedSecondsPerByte, cost + 1e-15);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GreedySplitOptimalityTest,
+                         ::testing::Range(0, 12));
+
+} // namespace

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the remapping layer (paper Sections 4.3 / 6.6): the
+ * 4-byte sign-encoded remap tables and the bit-per-row tier
+ * resolver the replay engine uses, including their equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "recshard/base/random.hh"
+#include "recshard/remap/remap_table.hh"
+
+namespace {
+
+using namespace recshard;
+
+FeatureSpec
+makeSpec(std::uint64_t hash_size)
+{
+    FeatureSpec f;
+    f.name = "t";
+    f.cardinality = hash_size * 2;
+    f.hashSize = hash_size;
+    f.dim = 8;
+    f.bytesPerElement = 4;
+    return f;
+}
+
+FrequencyCdf
+makeCdf(std::uint64_t hash_size, std::uint64_t touched, Rng &rng)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+    std::set<std::uint64_t> used;
+    while (used.size() < touched) {
+        const auto row = static_cast<std::uint64_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(hash_size) - 1));
+        if (used.insert(row).second) {
+            counts.push_back({row, static_cast<std::uint64_t>(
+                rng.uniformInt(1, 1000))});
+        }
+    }
+    return FrequencyCdf(hash_size, counts);
+}
+
+TEST(RemapTable, HotRowsGetRankOrderedHbmSlots)
+{
+    const FeatureSpec spec = makeSpec(10);
+    // Ranking: row 4 (50), row 1 (20), row 8 (5).
+    const FrequencyCdf cdf(10, {{1, 20}, {4, 50}, {8, 5}});
+    const RemapTable table = RemapTable::build(spec, cdf, 2);
+
+    EXPECT_EQ(table.hbmRows(), 2u);
+    EXPECT_EQ(table.uvmRows(), 8u);
+    // Row 4 -> HBM slot 0, row 1 -> HBM slot 1, row 8 -> UVM.
+    EXPECT_TRUE(table.lookup(4).inHbm);
+    EXPECT_EQ(table.lookup(4).slot, 0u);
+    EXPECT_TRUE(table.lookup(1).inHbm);
+    EXPECT_EQ(table.lookup(1).slot, 1u);
+    EXPECT_FALSE(table.lookup(8).inHbm);
+    EXPECT_EQ(table.storageBytes(), 40u);
+}
+
+TEST(RemapTable, SpillBackFillsUntouchedRows)
+{
+    const FeatureSpec spec = makeSpec(8);
+    const FrequencyCdf cdf(8, {{6, 10}});
+    // Budget of 3 HBM rows but only one touched: rows 0 and 1
+    // (ascending untouched) join row 6.
+    const RemapTable table = RemapTable::build(spec, cdf, 3);
+    EXPECT_TRUE(table.lookup(6).inHbm);
+    EXPECT_EQ(table.lookup(6).slot, 0u);
+    EXPECT_TRUE(table.lookup(0).inHbm);
+    EXPECT_TRUE(table.lookup(1).inHbm);
+    EXPECT_FALSE(table.lookup(2).inHbm);
+}
+
+TEST(RemapTable, SignEncodingRoundTrips)
+{
+    const FeatureSpec spec = makeSpec(16);
+    Rng rng(5);
+    const FrequencyCdf cdf = makeCdf(16, 8, rng);
+    const RemapTable table = RemapTable::build(spec, cdf, 5);
+    for (std::uint64_t row = 0; row < 16; ++row) {
+        const std::int32_t raw = table.rawEntry(row);
+        const RemappedRow dst = table.lookup(row);
+        if (dst.inHbm) {
+            EXPECT_GE(raw, 0);
+            EXPECT_EQ(static_cast<std::uint64_t>(raw), dst.slot);
+        } else {
+            EXPECT_LT(raw, 0);
+            EXPECT_EQ(static_cast<std::uint64_t>(-(raw + 1)),
+                      dst.slot);
+        }
+    }
+}
+
+/** Property: remapping is a bijection for any split point. */
+class RemapBijectionTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RemapBijectionTest, EverySlotAssignedExactlyOnce)
+{
+    Rng rng(900 + GetParam());
+    const std::uint64_t hash_size = rng.uniformInt(4, 400);
+    const std::uint64_t touched = rng.uniformInt(
+        1, static_cast<std::int64_t>(hash_size));
+    const std::uint64_t hbm_rows = rng.uniformInt(
+        0, static_cast<std::int64_t>(hash_size));
+    const FeatureSpec spec = makeSpec(hash_size);
+    const FrequencyCdf cdf = makeCdf(hash_size, touched, rng);
+    const RemapTable table = RemapTable::build(spec, cdf, hbm_rows);
+
+    std::set<std::uint64_t> hbm_slots, uvm_slots;
+    for (std::uint64_t row = 0; row < hash_size; ++row) {
+        const RemappedRow dst = table.lookup(row);
+        if (dst.inHbm) {
+            EXPECT_LT(dst.slot, hbm_rows);
+            EXPECT_TRUE(hbm_slots.insert(dst.slot).second)
+                << "duplicate HBM slot";
+        } else {
+            EXPECT_LT(dst.slot, hash_size - hbm_rows);
+            EXPECT_TRUE(uvm_slots.insert(dst.slot).second)
+                << "duplicate UVM slot";
+        }
+    }
+    EXPECT_EQ(hbm_slots.size(), hbm_rows);
+    EXPECT_EQ(uvm_slots.size(), hash_size - hbm_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RemapBijectionTest,
+                         ::testing::Range(0, 20));
+
+/** Property: TierResolver agrees with RemapTable row for row. */
+class ResolverConsistencyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ResolverConsistencyTest, ResolverMatchesRemapTable)
+{
+    Rng rng(1300 + GetParam());
+    const std::uint64_t hash_size = rng.uniformInt(4, 300);
+    const std::uint64_t touched = rng.uniformInt(
+        1, static_cast<std::int64_t>(hash_size));
+    const std::uint64_t hbm_rows = rng.uniformInt(
+        0, static_cast<std::int64_t>(hash_size));
+    const FeatureSpec spec = makeSpec(hash_size);
+    const FrequencyCdf cdf = makeCdf(hash_size, touched, rng);
+
+    const RemapTable table = RemapTable::build(spec, cdf, hbm_rows);
+    const TierResolver resolver = TierResolver::split(cdf, hbm_rows,
+                                                      hash_size);
+    for (std::uint64_t row = 0; row < hash_size; ++row) {
+        EXPECT_EQ(resolver.inHbm(row), table.lookup(row).inHbm)
+            << "row " << row << " hbm_rows " << hbm_rows;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ResolverConsistencyTest,
+                         ::testing::Range(0, 20));
+
+TEST(TierResolver, TrivialModes)
+{
+    EXPECT_TRUE(TierResolver::allHbm().inHbm(123));
+    EXPECT_FALSE(TierResolver::allUvm().inHbm(123));
+}
+
+TEST(RemapTable, RemapIndicesUnifiedSpace)
+{
+    const FeatureSpec spec = makeSpec(10);
+    const FrequencyCdf cdf(10, {{1, 20}, {4, 50}, {8, 5}});
+    const RemapTable table = RemapTable::build(spec, cdf, 2);
+
+    std::vector<std::uint64_t> indices = {4, 1, 8, 0};
+    table.remapIndices(indices);
+    // HBM rows land in [0, 2); UVM rows in [2, 10).
+    EXPECT_EQ(indices[0], 0u);
+    EXPECT_EQ(indices[1], 1u);
+    EXPECT_GE(indices[2], 2u);
+    EXPECT_LT(indices[2], 10u);
+    EXPECT_GE(indices[3], 2u);
+    // Distinct rows stay distinct.
+    const std::set<std::uint64_t> unique(indices.begin(),
+                                         indices.end());
+    EXPECT_EQ(unique.size(), indices.size());
+}
+
+TEST(RemapTable, GuardsAgainstOversizedTables)
+{
+    FeatureSpec spec = makeSpec(8);
+    spec.hashSize = 1ULL << 33; // beyond int32
+    const FrequencyCdf cdf;
+    EXPECT_EXIT(RemapTable::build(spec, cdf, 0),
+                ::testing::ExitedWithCode(1), "4-byte");
+}
+
+TEST(RemapTable, GuardsAgainstBadRowBudget)
+{
+    const FeatureSpec spec = makeSpec(8);
+    const FrequencyCdf cdf(8, {{0, 1}});
+    EXPECT_EXIT(RemapTable::build(spec, cdf, 9),
+                ::testing::ExitedWithCode(1), "exceed");
+}
+
+} // namespace

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the sharding strategies: baseline cost functions + the
+ * greedy heuristic (paper Section 5), the exact MILP formulation
+ * (Section 4.2), and the scalable RecShard solver — including a
+ * property sweep pitting the scalable solver against the exact MILP
+ * optimum on randomized instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "recshard/base/random.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/sharding/baselines.hh"
+#include "recshard/sharding/milp_formulation.hh"
+#include "recshard/sharding/recshard_solver.hh"
+
+namespace {
+
+using namespace recshard;
+
+/** Deterministic tiny workload: model + profiles. */
+struct Workload
+{
+    ModelSpec model;
+    std::vector<EmbProfile> profiles;
+};
+
+Workload
+makeWorkload(std::uint32_t features, std::uint64_t rows_per_table,
+             std::uint64_t seed, std::uint64_t samples = 20000)
+{
+    Workload w;
+    w.model = makeTinyModel(features, rows_per_table, seed);
+    SyntheticDataset data(w.model, seed * 31 + 7);
+    w.profiles = profileDataset(data, samples, 4096);
+    return w;
+}
+
+/**
+ * Independent plan evaluator: estimated bottleneck GPU cost using
+ * the profiled CDFs (not any solver's internal quantization).
+ */
+double
+planBottleneckCost(const Workload &w, const SystemSpec &sys,
+                   const ShardingPlan &plan, std::uint32_t batch)
+{
+    const EmbCostModel cost(sys);
+    std::vector<double> gpu_cost(sys.numGpus, 0.0);
+    for (std::size_t j = 0; j < plan.tables.size(); ++j) {
+        const auto &f = w.model.features[j];
+        const auto &p = w.profiles[j];
+        const double pct =
+            p.cdf.accessFraction(plan.tables[j].hbmRows);
+        gpu_cost[plan.tables[j].gpu] += p.coverage *
+            cost.estimatedEmbCost(f, p.avgPool, pct, batch);
+    }
+    double worst = 0.0;
+    for (const double c : gpu_cost)
+        worst = std::max(worst, c);
+    return worst;
+}
+
+// ------------------------------------------------------- baselines
+
+TEST(Baselines, CostFormulasMatchPaper)
+{
+    FeatureSpec f;
+    f.hashSize = 100000;
+    f.dim = 64;
+    EmbProfile p;
+    p.avgPool = 25.0;
+    EXPECT_DOUBLE_EQ(baselineCost(BaselineCost::Size, f, p),
+                     100000.0 * 64);
+    EXPECT_DOUBLE_EQ(baselineCost(BaselineCost::Lookup, f, p),
+                     25.0 * 64);
+    EXPECT_DOUBLE_EQ(baselineCost(BaselineCost::SizeLookup, f, p),
+                     25.0 * 64 * 5.0); // log10(1e5) == 5
+}
+
+TEST(Baselines, GreedyPlacesWholeTablesOnly)
+{
+    const Workload w = makeWorkload(8, 2000, 3);
+    const SystemSpec sys = SystemSpec::paper(2, 1.0);
+    for (const auto kind : {BaselineCost::Size, BaselineCost::Lookup,
+                            BaselineCost::SizeLookup}) {
+        const ShardingPlan plan = greedyShard(kind, w.model,
+                                              w.profiles, sys);
+        for (std::size_t j = 0; j < plan.tables.size(); ++j) {
+            const auto rows = plan.tables[j].hbmRows;
+            EXPECT_TRUE(rows == 0 ||
+                        rows == w.model.features[j].hashSize)
+                << "baseline split a table";
+        }
+    }
+}
+
+TEST(Baselines, GreedySpillsToUvmWhenHbmSaturates)
+{
+    const Workload w = makeWorkload(6, 4000, 5);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    // HBM holds only ~2 tables per GPU; the rest must go to UVM.
+    const std::uint64_t table_bytes =
+        w.model.features[0].tableBytes();
+    sys.hbm.capacityBytes = 2 * table_bytes + table_bytes / 2;
+    sys.uvm.capacityBytes = 100 * table_bytes;
+
+    const ShardingPlan plan = greedyShard(BaselineCost::Size, w.model,
+                                          w.profiles, sys);
+    plan.validate(w.model, sys);
+    std::uint32_t in_uvm = 0;
+    for (const auto &t : plan.tables)
+        in_uvm += t.hbmRows == 0;
+    EXPECT_GT(in_uvm, 0u);
+}
+
+TEST(Baselines, GreedyBalancesItsOwnCost)
+{
+    const Workload w = makeWorkload(12, 1000, 9);
+    const SystemSpec sys = SystemSpec::paper(3, 1.0);
+    const ShardingPlan plan = greedyShard(BaselineCost::Lookup,
+                                          w.model, w.profiles, sys);
+    // Accumulate the strategy's own cost per GPU; the greedy rule
+    // keeps the max within one largest-item of the min.
+    std::vector<double> load(sys.numGpus, 0.0);
+    double biggest = 0.0;
+    for (std::size_t j = 0; j < plan.tables.size(); ++j) {
+        const double c = baselineCost(BaselineCost::Lookup,
+                                      w.model.features[j],
+                                      w.profiles[j]);
+        load[plan.tables[j].gpu] += c;
+        biggest = std::max(biggest, c);
+    }
+    const double max_load = *std::max_element(load.begin(),
+                                              load.end());
+    const double min_load = *std::min_element(load.begin(),
+                                              load.end());
+    EXPECT_LE(max_load - min_load, biggest + 1e-9);
+}
+
+TEST(Baselines, InfeasibleModelIsFatal)
+{
+    const Workload w = makeWorkload(4, 2000, 11);
+    SystemSpec sys = SystemSpec::paper(1, 1.0);
+    sys.hbm.capacityBytes = 1024;
+    sys.uvm.capacityBytes = 1024;
+    EXPECT_EXIT(greedyShard(BaselineCost::Size, w.model, w.profiles,
+                            sys),
+                ::testing::ExitedWithCode(1), "does not fit");
+}
+
+// ------------------------------------------------------ exact MILP
+
+/**
+ * Brute-force optimum of the quantized sharding problem: enumerate
+ * every (assignment, step) combination, reject capacity violations,
+ * and minimize the max per-GPU coverage-weighted cost.
+ */
+double
+bruteForceOptimum(const Workload &w, const SystemSpec &sys,
+                  unsigned steps, std::uint32_t batch)
+{
+    const auto inputs = buildShardInputs(w.model, w.profiles, steps);
+    const EmbCostModel cost(sys);
+    const auto J = static_cast<std::uint32_t>(inputs.size());
+    const std::uint32_t M = sys.numGpus;
+
+    double best = kLpInf;
+    std::vector<unsigned> step(J, 0);
+    while (true) {
+        // All assignments for this step tuple.
+        const auto combos = static_cast<std::uint64_t>(
+            std::pow(static_cast<double>(M), J) + 0.5);
+        for (std::uint64_t a = 0; a < combos; ++a) {
+            std::uint64_t code = a;
+            std::vector<std::uint64_t> hbm(M, 0), uvm(M, 0);
+            std::vector<double> c(M, 0.0);
+            bool ok = true;
+            for (std::uint32_t j = 0; j < J && ok; ++j) {
+                const auto m = static_cast<std::uint32_t>(code % M);
+                code /= M;
+                const std::uint64_t mem = inputs[j].memAtStep(
+                    step[j]);
+                hbm[m] += mem;
+                uvm[m] += inputs[j].tableBytes - mem;
+                c[m] += embCostAtPct(
+                    inputs[j], cost,
+                    static_cast<double>(step[j]) / steps, batch);
+                ok = hbm[m] <= sys.hbm.capacityBytes &&
+                    uvm[m] <= sys.uvm.capacityBytes;
+            }
+            if (!ok)
+                continue;
+            best = std::min(best,
+                            *std::max_element(c.begin(), c.end()));
+        }
+        // Odometer over step tuples.
+        std::uint32_t j = 0;
+        while (j < J && ++step[j] > steps)
+            step[j++] = 0;
+        if (j == J)
+            break;
+    }
+    return best;
+}
+
+TEST(MilpShard, MatchesBruteForceUnconstrained)
+{
+    const Workload w = makeWorkload(4, 500, 13);
+    const SystemSpec sys = SystemSpec::paper(2, 1.0);
+    MilpShardOptions opts;
+    opts.icdfSteps = 4;
+    const MilpShardResult res = milpShardPlan(w.model, w.profiles,
+                                              sys, opts);
+    ASSERT_TRUE(res.feasible);
+    const double truth = bruteForceOptimum(w, sys, 4,
+                                           opts.batchSize);
+    EXPECT_LE(res.milp.objective, truth * 1.03 + 1e-12);
+    EXPECT_GE(res.milp.objective, truth * 0.999 - 1e-12);
+}
+
+TEST(MilpShard, MatchesBruteForceConstrained)
+{
+    const Workload w = makeWorkload(4, 2500, 47);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = w.model.totalBytes() / 5;
+    sys.uvm.capacityBytes = w.model.totalBytes();
+    MilpShardOptions opts;
+    opts.icdfSteps = 4;
+    const MilpShardResult res = milpShardPlan(w.model, w.profiles,
+                                              sys, opts);
+    ASSERT_TRUE(res.feasible);
+    res.plan.validate(w.model, sys);
+    const double truth = bruteForceOptimum(w, sys, 4,
+                                           opts.batchSize);
+    EXPECT_LE(res.milp.objective, truth * 1.03 + 1e-12);
+    EXPECT_GE(res.milp.objective, truth * 0.999 - 1e-12);
+}
+
+TEST(MilpShard, RespectsCapacityAndSplits)
+{
+    const Workload w = makeWorkload(4, 3000, 17);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    // Budget for roughly half the model in HBM.
+    sys.hbm.capacityBytes = w.model.totalBytes() / 4;
+    sys.uvm.capacityBytes = w.model.totalBytes();
+
+    MilpShardOptions opts;
+    opts.icdfSteps = 5;
+    const MilpShardResult res = milpShardPlan(w.model, w.profiles,
+                                              sys, opts);
+    ASSERT_TRUE(res.feasible);
+    res.plan.validate(w.model, sys); // capacity double-check
+    // At least one table must be split or spilled.
+    bool any_partial = false;
+    for (std::size_t j = 0; j < res.plan.tables.size(); ++j) {
+        const auto rows = res.plan.tables[j].hbmRows;
+        any_partial |= rows < w.model.features[j].hashSize;
+    }
+    EXPECT_TRUE(any_partial);
+}
+
+TEST(MilpShard, TooBigInstanceIsFatal)
+{
+    const Workload w = makeWorkload(4, 100, 19);
+    const SystemSpec sys = SystemSpec::paper(2, 1.0);
+    MilpShardOptions opts;
+    opts.maxBinaries = 10;
+    EXPECT_EXIT(milpShardPlan(w.model, w.profiles, sys, opts),
+                ::testing::ExitedWithCode(1), "binaries");
+}
+
+// ------------------------------------------------ RecShard solver
+
+TEST(RecShardSolver, ValidPlanAndFullHbmWhenItFits)
+{
+    const Workload w = makeWorkload(8, 1000, 23);
+    const SystemSpec sys = SystemSpec::paper(2, 1.0);
+    RecShardStats stats;
+    const ShardingPlan plan = recShardPlan(w.model, w.profiles, sys,
+                                           {}, &stats);
+    plan.validate(w.model, sys);
+    EXPECT_GT(stats.bottleneckCost, 0.0);
+    // Plenty of HBM: all *profiled* accesses should be HBM-resident.
+    for (std::size_t j = 0; j < plan.tables.size(); ++j)
+        EXPECT_DOUBLE_EQ(plan.tables[j].hbmAccessFraction, 1.0);
+}
+
+TEST(RecShardSolver, CapacityConstrainedKeepsHotRows)
+{
+    Workload w = makeWorkload(6, 4000, 29);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = w.model.totalBytes() / 6;
+    sys.uvm.capacityBytes = w.model.totalBytes();
+
+    const ShardingPlan plan = recShardPlan(w.model, w.profiles, sys);
+    plan.validate(w.model, sys);
+
+    // Under pressure the solver must still cover most accesses from
+    // HBM (skewed CDFs make hot rows cheap).
+    double worst_pct = 1.0;
+    double total_pct = 0.0;
+    for (std::size_t j = 0; j < plan.tables.size(); ++j) {
+        worst_pct = std::min(worst_pct,
+                             plan.tables[j].hbmAccessFraction);
+        total_pct += plan.tables[j].hbmAccessFraction;
+    }
+    EXPECT_GT(total_pct / static_cast<double>(plan.tables.size()),
+              0.5);
+}
+
+TEST(RecShardSolver, BeatsGreedyBaselinesUnderPressure)
+{
+    const Workload w = makeWorkload(10, 5000, 31);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = w.model.totalBytes() / 8;
+    sys.uvm.capacityBytes = 2 * w.model.totalBytes();
+
+    const std::uint32_t batch = 4096;
+    RecShardOptions opts;
+    opts.batchSize = batch;
+    const ShardingPlan rs = recShardPlan(w.model, w.profiles, sys,
+                                         opts);
+    const double rs_cost = planBottleneckCost(w, sys, rs, batch);
+    for (const auto kind : {BaselineCost::Size, BaselineCost::Lookup,
+                            BaselineCost::SizeLookup}) {
+        const ShardingPlan base = greedyShard(kind, w.model,
+                                              w.profiles, sys);
+        const double base_cost = planBottleneckCost(w, sys, base,
+                                                    batch);
+        EXPECT_LT(rs_cost, base_cost)
+            << "RecShard lost to " << baselineCostName(kind);
+    }
+}
+
+TEST(RecShardSolver, AblationSwitchesChangeTheObjective)
+{
+    const Workload w = makeWorkload(8, 3000, 37);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = w.model.totalBytes() / 6;
+    sys.uvm.capacityBytes = w.model.totalBytes();
+
+    RecShardOptions full;
+    RecShardOptions cdf_only;
+    cdf_only.ablation.usePooling = false;
+    cdf_only.ablation.useCoverage = false;
+
+    const ShardingPlan a = recShardPlan(w.model, w.profiles, sys,
+                                        full);
+    const ShardingPlan b = recShardPlan(w.model, w.profiles, sys,
+                                        cdf_only);
+    // The full formulation should be at least as good under the
+    // true (fully weighted) objective.
+    EXPECT_LE(planBottleneckCost(w, sys, a, 16384),
+              planBottleneckCost(w, sys, b, 16384) * 1.0001);
+}
+
+TEST(RecShardSolver, InfeasibleModelIsFatal)
+{
+    const Workload w = makeWorkload(4, 2000, 41);
+    SystemSpec sys = SystemSpec::paper(1, 1.0);
+    sys.hbm.capacityBytes = 1024;
+    sys.uvm.capacityBytes = 1024;
+    EXPECT_EXIT(recShardPlan(w.model, w.profiles, sys),
+                ::testing::ExitedWithCode(1), "exceeds");
+}
+
+/**
+ * Property sweep: the scalable solver's plan must land within a
+ * small factor of the exact MILP optimum (both evaluated by the
+ * same independent cost function).
+ */
+class SolverVsMilpTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverVsMilpTest, ScalableSolverNearMilpOptimum)
+{
+    const int trial = GetParam();
+    const Workload w = makeWorkload(5 + trial % 3, 1500,
+                                    100 + trial);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    Rng rng(500 + trial);
+    // Random capacity pressure between 15% and 60% of the model.
+    sys.hbm.capacityBytes = static_cast<std::uint64_t>(
+        w.model.totalBytes() * rng.uniform(0.15, 0.6) / 2);
+    sys.uvm.capacityBytes = w.model.totalBytes();
+
+    const std::uint32_t batch = 8192;
+    MilpShardOptions milp_opts;
+    milp_opts.batchSize = batch;
+    milp_opts.icdfSteps = 5;
+    milp_opts.milp.relativeGap = 0.03;
+    milp_opts.milp.timeLimitSec = 15;
+    const MilpShardResult exact = milpShardPlan(w.model, w.profiles,
+                                                sys, milp_opts);
+    ASSERT_TRUE(exact.feasible);
+
+    RecShardOptions rs_opts;
+    rs_opts.batchSize = batch;
+    rs_opts.icdfSteps = 5;
+    const ShardingPlan fast = recShardPlan(w.model, w.profiles, sys,
+                                           rs_opts);
+
+    const double exact_cost = planBottleneckCost(w, sys, exact.plan,
+                                                 batch);
+    const double fast_cost = planBottleneckCost(w, sys, fast, batch);
+    // The scalable solver must land close to (or beat) the MILP
+    // incumbent under the same independent evaluation.
+    EXPECT_LT(fast_cost, exact_cost * 1.25 + 1e-9)
+        << "scalable solver strayed too far from the MILP optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverVsMilpTest,
+                         ::testing::Range(0, 8));
+
+} // namespace
