@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Serving-side plan comparison: RecShard vs. the size-greedy
+ * baseline under identical online traffic.
+ *
+ * The offline Tables 3/5 ask "how fast is a training iteration?";
+ * this bench asks the serving question the ROADMAP's north star
+ * implies: which sharding plan meets a p99 latency SLA at N queries
+ * per second? Both plans serve the *same* generated arrival trace
+ * (Poisson by default, bursty on request) through the admission
+ * queue + dynamic batching + per-GPU server pool, and the report
+ * compares achieved QPS, p50/p95/p99 latency, UVM traffic, cache
+ * hit rate, and SLA violations.
+ */
+
+#include <iostream>
+
+#include "recshard/base/flags.hh"
+#include "recshard/base/table.hh"
+#include "recshard/base/units.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/engine/execution.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/serving/serving.hh"
+#include "recshard/sharding/baselines.hh"
+#include "recshard/sharding/recshard_solver.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_serving_latency");
+    flags.addInt("features", 12, "sparse features in the model");
+    flags.addInt("rows", 20000, "EMB rows per feature (pre-skew)");
+    flags.addInt("dim", 128, "embedding dimension");
+    flags.addInt("gpus", 2, "serving GPUs");
+    flags.addDouble("hbm-frac", 0.2,
+                    "fraction of the model the HBM budget holds");
+    flags.addDouble("qps", 4000, "mean arrival rate");
+    flags.addBool("bursty", "use bursty on/off arrivals");
+    flags.addInt("queries", 20000, "queries served");
+    flags.addDouble("mean-samples", 4,
+                    "mean ranking candidates per query");
+    flags.addInt("max-batch-queries", 16, "batch query target");
+    flags.addInt("max-batch-samples", 64, "batch sample target");
+    flags.addDouble("max-wait-ms", 2.0, "batch deadline, ms");
+    flags.addInt("cache-rows", 0, "per-GPU LRU hot-row cache rows");
+    flags.addDouble("sla-ms", 10.0, "latency SLA, ms");
+    flags.addInt("profile-samples", 30000, "profiling samples");
+    flags.addInt("seed", 7, "model/data/load seed");
+    flags.parse(argc, argv);
+
+    const auto seed =
+        static_cast<std::uint64_t>(flags.getInt("seed"));
+    ModelSpec model = makeTinyModel(
+        static_cast<std::uint32_t>(flags.getInt("features")),
+        static_cast<std::uint64_t>(flags.getInt("rows")), seed);
+    for (auto &f : model.features)
+        f.dim = static_cast<std::uint32_t>(flags.getInt("dim"));
+    SyntheticDataset data(model, seed * 2654435761ULL + 1);
+
+    SystemSpec system = SystemSpec::paper(
+        static_cast<std::uint32_t>(flags.getInt("gpus")), 1.0);
+    system.hbm.capacityBytes = static_cast<std::uint64_t>(
+        static_cast<double>(model.totalBytes()) *
+        flags.getDouble("hbm-frac") /
+        static_cast<double>(system.numGpus));
+    system.uvm.capacityBytes = model.totalBytes();
+
+    const auto profiles = profileDataset(
+        data,
+        static_cast<std::uint64_t>(flags.getInt("profile-samples")));
+
+    const ShardingPlan baseline = greedyShard(
+        BaselineCost::Size, model, profiles, system);
+    const ShardingPlan recshard =
+        recShardPlan(model, profiles, system);
+
+    ServingConfig cfg;
+    cfg.load.process = flags.getBool("bursty")
+        ? ArrivalProcess::Bursty : ArrivalProcess::Poisson;
+    cfg.load.qps = flags.getDouble("qps");
+    cfg.load.meanQuerySamples = flags.getDouble("mean-samples");
+    cfg.load.seed = seed ^ 0x5e41ULL;
+    cfg.batching.maxBatchQueries = static_cast<std::uint32_t>(
+        flags.getInt("max-batch-queries"));
+    cfg.batching.maxBatchSamples = static_cast<std::uint32_t>(
+        flags.getInt("max-batch-samples"));
+    cfg.batching.maxWaitSeconds =
+        flags.getDouble("max-wait-ms") / 1e3;
+    cfg.server.cacheRows =
+        static_cast<std::uint64_t>(flags.getInt("cache-rows"));
+    cfg.numQueries =
+        static_cast<std::uint64_t>(flags.getInt("queries"));
+    cfg.slaSeconds = flags.getDouble("sla-ms") / 1e3;
+
+    std::cout << "Model: " << formatBytes(model.totalBytes())
+              << " of EMBs; per-GPU HBM budget "
+              << formatBytes(system.hbm.capacityBytes) << "; "
+              << cfg.numQueries << " queries at "
+              << cfg.load.qps << " QPS ("
+              << (flags.getBool("bursty") ? "bursty" : "Poisson")
+              << ")\n\n";
+
+    const auto reports = serveTrafficComparison(
+        data, {&baseline, &recshard},
+        {ExecutionEngine::buildResolvers(model, baseline, profiles),
+         ExecutionEngine::buildResolvers(model, recshard, profiles)},
+        system, cfg);
+
+    TextTable t({"Strategy", "QPS", "p50", "p95", "p99", "max",
+                 "UVM %", "cache hit %", "SLA viol %",
+                 "mean depth"});
+    for (const auto &r : reports) {
+        t.addRow({r.strategy, fmtDouble(r.qps, 0),
+                  formatSeconds(r.p50Latency),
+                  formatSeconds(r.p95Latency),
+                  formatSeconds(r.p99Latency),
+                  formatSeconds(r.maxLatency),
+                  fmtDouble(100 * r.uvmAccessFraction, 2),
+                  fmtDouble(100 * r.cacheHitRate, 1),
+                  fmtDouble(100 * r.slaViolationRate, 2),
+                  fmtDouble(r.meanQueueDepth, 1)});
+    }
+    t.print(std::cout, "Serving latency under identical traffic");
+
+    const double speedup = reports[1].p99Latency > 0.0
+        ? reports[0].p99Latency / reports[1].p99Latency : 1.0;
+    std::cout << "\nRecShard p99 improvement over Size-Based: "
+              << fmtDouble(speedup, 2) << "x\n";
+    return 0;
+}

@@ -80,9 +80,15 @@ summarize(const std::vector<double> &xs)
 double
 percentile(std::vector<double> xs, double q)
 {
+    std::sort(xs.begin(), xs.end());
+    return sortedPercentile(xs, q);
+}
+
+double
+sortedPercentile(const std::vector<double> &xs, double q)
+{
     fatal_if(xs.empty(), "percentile of an empty sample");
     fatal_if(q < 0.0 || q > 1.0, "quantile ", q, " outside [0,1]");
-    std::sort(xs.begin(), xs.end());
     const double pos = q * static_cast<double>(xs.size() - 1);
     const auto lo = static_cast<std::size_t>(pos);
     const auto hi = std::min(lo + 1, xs.size() - 1);

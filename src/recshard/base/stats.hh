@@ -78,6 +78,12 @@ Summary summarize(const std::vector<double> &xs);
  */
 double percentile(std::vector<double> xs, double q);
 
+/**
+ * Linear-interpolated quantile of an already-sorted sample; use
+ * when several quantiles of one sample are needed (sort once).
+ */
+double sortedPercentile(const std::vector<double> &xs, double q);
+
 /** Pearson correlation of two equal-length samples; 0 if degenerate. */
 double pearson(const std::vector<double> &xs,
                const std::vector<double> &ys);

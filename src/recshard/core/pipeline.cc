@@ -67,6 +67,15 @@ RecShardPipeline::run() const
             result.remapStorageBytes += hash_size * 4;
     }
     result.remapSeconds = secondsSince(t0);
+
+    // Phase 4 (optional): the plan under online request load.
+    if (opts.evaluateServing) {
+        t0 = Clock::now();
+        result.serving = serveTraffic(data, result.plan,
+                                      result.resolvers, sys,
+                                      opts.serving);
+        result.servingSeconds = secondsSince(t0);
+    }
     return result;
 }
 

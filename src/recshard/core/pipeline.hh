@@ -12,6 +12,17 @@
  * Also hosts the re-sharding benefit assessment of Section 3.5:
  * how much a fresh plan would beat the incumbent plan under newly
  * profiled (drifted) data.
+ *
+ * Serving (phase 4, optional): beyond the paper's fixed-iteration
+ * replay, the pipeline can evaluate the solved plan under *online*
+ * request-driven load — Poisson or bursty arrivals, an admission
+ * queue with dynamic batching, per-GPU server threads with an LRU
+ * hot-row cache — and report throughput and p50/p95/p99 latency
+ * against an SLA (see serving/serving.hh). Enable it with
+ * PipelineOptions::evaluateServing; the report lands in
+ * PipelineResult::serving. This is the seam scale-out work (multi-
+ * node routing, request replication, admission policies) plugs
+ * into.
  */
 
 #ifndef RECSHARD_CORE_PIPELINE_HH
@@ -22,6 +33,7 @@
 
 #include "recshard/engine/execution.hh"
 #include "recshard/profiler/profiler.hh"
+#include "recshard/serving/serving.hh"
 #include "recshard/sharding/milp_formulation.hh"
 #include "recshard/sharding/recshard_solver.hh"
 
@@ -37,6 +49,9 @@ struct PipelineOptions
     bool useExactMilp = false;
     RecShardOptions solver;
     MilpShardOptions milp;
+    /** Run the optional serving phase on the solved plan. */
+    bool evaluateServing = false;
+    ServingConfig serving;
 };
 
 /** Everything the pipeline produces. */
@@ -49,9 +64,12 @@ struct PipelineResult
     std::vector<TierResolver> resolvers;
     /** 4 bytes/row over all split tables (Section 6.6). */
     std::uint64_t remapStorageBytes = 0;
+    /** Phase 4 (only when requested): the plan under live load. */
+    ServingReport serving;
     double profileSeconds = 0.0;
     double solveSeconds = 0.0;
     double remapSeconds = 0.0;
+    double servingSeconds = 0.0;
 };
 
 /** One-call RecShard pipeline over a synthetic data stream. */

@@ -1,0 +1,44 @@
+#include "recshard/dist/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+LogNormal::LogNormal(double mean, double sigma)
+    : meanV(mean), sigmaV(sigma)
+{
+    fatal_if(mean <= 0.0, "log-normal mean must be positive, got ",
+             mean);
+    fatal_if(sigma < 0.0, "log-normal sigma must be >= 0, got ",
+             sigma);
+    // E[exp(mu + sigma Z)] = exp(mu + sigma^2/2) == mean.
+    mu = std::log(mean) - sigma * sigma / 2.0;
+}
+
+double
+LogNormal::operator()(Rng &rng) const
+{
+    if (sigmaV == 0.0)
+        return meanV;
+    return std::exp(mu + sigmaV * rng.gaussian());
+}
+
+PoolingDist::PoolingDist(double mean, double sigma,
+                         std::uint32_t cap_)
+    : base(mean, sigma), cap(cap_)
+{
+    fatal_if(cap == 0, "pooling cap must be >= 1");
+}
+
+std::uint32_t
+PoolingDist::operator()(Rng &rng) const
+{
+    const double x = std::round(base(rng));
+    return static_cast<std::uint32_t>(
+        std::clamp(x, 0.0, static_cast<double>(cap)));
+}
+
+} // namespace recshard

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Continuous and discrete samplers for workload synthesis.
+ *
+ * LogNormal models the heavy-tailed pooling-factor distributions of
+ * Section 3.2; it is parameterized by the target *arithmetic* mean
+ * (not the log-space mean) so feature specs can state intent
+ * directly. PoolingDist is its discrete, capped form: the number of
+ * multi-hot lookups one sample contributes, bounded by the
+ * per-sample pooling cap production systems enforce.
+ */
+
+#ifndef RECSHARD_DIST_SAMPLING_HH
+#define RECSHARD_DIST_SAMPLING_HH
+
+#include <cstdint>
+
+#include "recshard/base/random.hh"
+
+namespace recshard {
+
+/** Log-normal deviates with a target arithmetic mean. */
+class LogNormal
+{
+  public:
+    /**
+     * @param mean  Target arithmetic mean E[X], > 0.
+     * @param sigma Log-space standard deviation, >= 0 (0 degenerates
+     *              to the constant `mean`).
+     */
+    LogNormal(double mean, double sigma);
+
+    /** Draw one deviate. */
+    double operator()(Rng &rng) const;
+
+    double mean() const { return meanV; }
+    double sigma() const { return sigmaV; }
+
+  private:
+    double meanV;
+    double sigmaV;
+    double mu; //!< log-space mean: ln(mean) - sigma^2 / 2
+};
+
+/** Capped, rounded log-normal pooling factors (Section 3.2). */
+class PoolingDist
+{
+  public:
+    /**
+     * @param mean  Target mean pooling factor, > 0.
+     * @param sigma Log-space tail weight, >= 0.
+     * @param cap   Inclusive per-sample cap on the pooling factor.
+     */
+    PoolingDist(double mean, double sigma, std::uint32_t cap);
+
+    /** Draw one pooling factor in [0, cap]. */
+    std::uint32_t operator()(Rng &rng) const;
+
+  private:
+    LogNormal base;
+    std::uint32_t cap;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_DIST_SAMPLING_HH

@@ -1,0 +1,140 @@
+#include "recshard/dist/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+namespace {
+
+/** (exp(t) - 1) / t, stable near t == 0. */
+double
+expm1OverT(double t)
+{
+    return std::abs(t) > 1e-8 ? std::expm1(t) / t
+                              : 1.0 + t / 2.0 * (1.0 + t / 3.0);
+}
+
+/** log(1 + t) / t, stable near t == 0. */
+double
+log1pOverT(double t)
+{
+    return std::abs(t) > 1e-8 ? std::log1p(t) / t
+                              : 1.0 - t / 2.0 * (1.0 - 2.0 * t / 3.0);
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n_, double alpha_)
+    : n(n_), alpha(alpha_)
+{
+    fatal_if(n == 0, "Zipf support must be non-empty");
+    fatal_if(alpha < 0.0, "Zipf exponent must be >= 0, got ", alpha);
+    if (alpha > 0.0) {
+        hX1 = hIntegral(1.5) - 1.0;
+        hN = hIntegral(static_cast<double>(n) + 0.5);
+        sThreshold = 2.0 -
+            hIntegralInverse(hIntegral(2.5) - h(2.0));
+    }
+}
+
+// H is an antiderivative of h(x) = x^-alpha on [1, n + 1/2]; the
+// expm1/log1p helpers keep both H and its inverse stable through
+// alpha == 1, where the closed forms degenerate to log(x)/exp(x).
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    const double logx = std::log(x);
+    return expm1OverT((1.0 - alpha) * logx) * logx;
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-alpha * std::log(x));
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - alpha);
+    t = std::max(t, -1.0); // clamp round-off below the pole
+    return std::exp(log1pOverT(t) * x);
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    if (alpha == 0.0)
+        return static_cast<std::uint64_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(n) - 1));
+
+    // Hörmann & Derflinger rejection-inversion: invert H over the
+    // continuous envelope, round to the nearest integer rank, and
+    // accept either inside the always-accept band or by the exact
+    // h comparison. Expected iterations are O(1) for all alpha.
+    for (;;) {
+        const double u = hN + rng.nextDouble() * (hX1 - hN);
+        const double x = hIntegralInverse(u);
+        double k = std::floor(x + 0.5);
+        k = std::clamp(k, 1.0, static_cast<double>(n));
+        if (k - x <= sThreshold ||
+            u >= hIntegral(k + 0.5) - h(k)) {
+            return static_cast<std::uint64_t>(k) - 1;
+        }
+    }
+}
+
+double
+ZipfSampler::normalization() const
+{
+    if (norm > 0.0)
+        return norm;
+    // Exact generalized harmonic for modest supports; for huge ones
+    // (only hit by analytic reports, never by sampling) the tail
+    // beyond the first million terms is integrated analytically.
+    const std::uint64_t exact_terms =
+        std::min<std::uint64_t>(n, 1'000'000);
+    double sum = 0.0;
+    for (std::uint64_t k = exact_terms; k >= 1; --k)
+        sum += std::exp(-alpha * std::log(static_cast<double>(k)));
+    if (exact_terms < n) {
+        const double a = static_cast<double>(exact_terms) + 0.5;
+        const double b = static_cast<double>(n) + 0.5;
+        // Integral of x^-alpha over [a, b] (midpoint-corrected).
+        sum += alpha == 1.0
+            ? std::log(b / a)
+            : (std::pow(b, 1.0 - alpha) - std::pow(a, 1.0 - alpha)) /
+                (1.0 - alpha);
+    }
+    norm = sum;
+    return norm;
+}
+
+double
+ZipfSampler::pmf(std::uint64_t k) const
+{
+    fatal_if(k >= n, "rank ", k, " outside support ", n);
+    return std::exp(-alpha *
+                    std::log(static_cast<double>(k) + 1.0)) /
+        normalization();
+}
+
+std::vector<double>
+ZipfSampler::exactCdf() const
+{
+    std::vector<double> cdf;
+    cdf.reserve(n);
+    const double z = normalization();
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        acc += std::exp(-alpha * std::log(static_cast<double>(k)));
+        cdf.push_back(acc / z);
+    }
+    return cdf;
+}
+
+} // namespace recshard

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Zipf-distributed rank sampling (paper Section 3.1).
+ *
+ * Raw categorical values of production sparse features follow power
+ * laws: the rank-k value (0-based here) is drawn with probability
+ * proportional to 1 / (k+1)^alpha. Supports the full range the
+ * workload model needs — alpha == 0 (uniform) through strong skew,
+ * and supports beyond 2^32 values — with an O(1) constructor and
+ * O(1) expected sampling time via rejection-inversion (Hörmann &
+ * Derflinger), so a sampler can be rebuilt per generated batch.
+ */
+
+#ifndef RECSHARD_DIST_ZIPF_HH
+#define RECSHARD_DIST_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/base/random.hh"
+
+namespace recshard {
+
+/** Draws 0-based Zipf ranks in [0, n). */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Support size (number of distinct values), >= 1.
+     * @param alpha Skew exponent, >= 0; 0 is uniform.
+     */
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw one rank in [0, n). */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t support() const { return n; }
+    double exponent() const { return alpha; }
+
+    /** Exact probability of rank k (normalization computed lazily). */
+    double pmf(std::uint64_t k) const;
+
+    /**
+     * The exact CDF over all n ranks; intended for small supports
+     * (tests, analytic reports) — O(n) time and memory.
+     */
+    std::vector<double> exactCdf() const;
+
+  private:
+    double hIntegral(double x) const;
+    double h(double x) const;
+    double hIntegralInverse(double x) const;
+    double normalization() const;
+
+    std::uint64_t n;
+    double alpha;
+    // Rejection-inversion constants (alpha > 0 only).
+    double hX1 = 0.0;        //!< hIntegral(1.5) - 1
+    double hN = 0.0;         //!< hIntegral(n + 0.5)
+    double sThreshold = 0.0; //!< acceptance shortcut threshold
+    mutable double norm = -1.0; //!< cached generalized harmonic H(n)
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_DIST_ZIPF_HH

@@ -219,6 +219,43 @@ toStrategyResult(const ModelSpec &model, const ShardingPlan &plan,
     return out;
 }
 
+/** Model, data stream, system, and profiles one config implies. */
+struct PreparedModel
+{
+    ModelSpec model;
+    SyntheticDataset data;
+    SystemSpec sys;
+    std::vector<EmbProfile> profiles;
+};
+
+PreparedModel
+prepareModel(const ExperimentConfig &cfg,
+             const std::string &model_name)
+{
+    ModelSpec model = makeRmByName(model_name, cfg.scale);
+    SyntheticDataset data(model, cfg.seed);
+    PreparedModel p{std::move(model), std::move(data),
+                    SystemSpec::paper(cfg.gpus, cfg.scale), {}};
+    p.profiles = profileDataset(
+        p.data, cfg.profileSamples,
+        std::min<std::uint32_t>(4096, static_cast<std::uint32_t>(
+            cfg.profileSamples)));
+    return p;
+}
+
+/** Per-plan resolver vectors, in plan order. */
+std::vector<std::vector<TierResolver>>
+resolveAll(const PreparedModel &p,
+           const std::vector<ShardingPlan> &plans)
+{
+    std::vector<std::vector<TierResolver>> resolvers;
+    resolvers.reserve(plans.size());
+    for (const auto &plan : plans)
+        resolvers.push_back(ExecutionEngine::buildResolvers(
+            p.model, plan, p.profiles));
+    return resolvers;
+}
+
 /** Compute plans for a variant set and replay them on one trace. */
 ModelEvaluation
 computeEvaluation(const ExperimentConfig &cfg,
@@ -227,14 +264,11 @@ computeEvaluation(const ExperimentConfig &cfg,
     inform("evaluating ", model_name, " at scale ", cfg.scale,
            " on ", cfg.gpus, " GPUs (",
            ablation ? "ablation" : "strategies", ")...");
-    const ModelSpec model = makeRmByName(model_name, cfg.scale);
-    SyntheticDataset data(model, cfg.seed);
-    const SystemSpec sys = SystemSpec::paper(cfg.gpus, cfg.scale);
-
-    const auto profiles = profileDataset(
-        data, cfg.profileSamples,
-        std::min<std::uint32_t>(4096, static_cast<std::uint32_t>(
-            cfg.profileSamples)));
+    const PreparedModel prep = prepareModel(cfg, model_name);
+    const ModelSpec &model = prep.model;
+    const SyntheticDataset &data = prep.data;
+    const SystemSpec &sys = prep.sys;
+    const auto &profiles = prep.profiles;
 
     std::vector<ShardingPlan> plans;
     if (!ablation) {
@@ -273,12 +307,9 @@ computeEvaluation(const ExperimentConfig &cfg,
 
     ExecutionEngine engine(data, sys, EmbCostModel(sys));
     std::vector<const ShardingPlan *> plan_ptrs;
-    std::vector<std::vector<TierResolver>> resolvers;
-    for (const auto &plan : plans) {
+    for (const auto &plan : plans)
         plan_ptrs.push_back(&plan);
-        resolvers.push_back(ExecutionEngine::buildResolvers(
-            model, plan, profiles));
-    }
+    const auto resolvers = resolveAll(prep, plans);
     ReplayConfig rc;
     rc.batchSize = cfg.batch;
     rc.warmupIterations = cfg.warmup;
@@ -326,6 +357,45 @@ evaluateAblation(const ExperimentConfig &cfg,
                  const std::string &model_name)
 {
     return evaluateCached(cfg, model_name, true);
+}
+
+const ServingReport &
+ServingEvaluation::byName(const std::string &name) const
+{
+    for (const auto &s : strategies)
+        if (s.strategy == name)
+            return s;
+    fatal("no strategy named '", name, "' in serving evaluation of ",
+          modelName);
+}
+
+ServingEvaluation
+evaluateServing(const ExperimentConfig &cfg,
+                const std::string &model_name,
+                const ServingConfig &serving)
+{
+    inform("serving ", model_name, " at scale ", cfg.scale, " on ",
+           cfg.gpus, " GPUs at ", serving.load.qps, " QPS...");
+    const PreparedModel prep = prepareModel(cfg, model_name);
+
+    std::vector<ShardingPlan> plans;
+    plans.push_back(greedyShard(BaselineCost::Size, prep.model,
+                                prep.profiles, prep.sys));
+    RecShardOptions rs;
+    rs.batchSize = cfg.batch;
+    plans.push_back(
+        recShardPlan(prep.model, prep.profiles, prep.sys, rs));
+
+    std::vector<const ShardingPlan *> plan_ptrs;
+    for (const auto &plan : plans)
+        plan_ptrs.push_back(&plan);
+
+    ServingEvaluation eval;
+    eval.modelName = model_name;
+    eval.strategies = serveTrafficComparison(
+        prep.data, plan_ptrs, resolveAll(prep, plans), prep.sys,
+        serving);
+    return eval;
 }
 
 namespace paper {

@@ -19,6 +19,7 @@
 
 #include "recshard/base/flags.hh"
 #include "recshard/engine/execution.hh"
+#include "recshard/serving/serving.hh"
 #include "recshard/sharding/plan.hh"
 
 namespace recshard {
@@ -92,6 +93,27 @@ ModelEvaluation evaluateModel(const ExperimentConfig &config,
  */
 ModelEvaluation evaluateAblation(const ExperimentConfig &config,
                                  const std::string &model_name);
+
+/** Serving comparison of strategies on one model. */
+struct ServingEvaluation
+{
+    std::string modelName;
+    /** Same order as the plans evaluated (baselines + RecShard). */
+    std::vector<ServingReport> strategies;
+
+    const ServingReport &byName(const std::string &name) const;
+};
+
+/**
+ * Evaluate the size-greedy baseline and RecShard under identical
+ * online traffic on one RM ("rm1"/"rm2"/"rm3"). Serving runs are
+ * not disk-memoized: the trace is cheap to regenerate relative to
+ * plan solving, and the latency numbers depend on every serving
+ * knob (a poor cache key).
+ */
+ServingEvaluation evaluateServing(const ExperimentConfig &config,
+                                  const std::string &model_name,
+                                  const ServingConfig &serving);
 
 /** The paper's headline numbers for side-by-side printing. */
 namespace paper {

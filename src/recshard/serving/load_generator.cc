@@ -1,0 +1,93 @@
+#include "recshard/serving/load_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+LoadGenerator::LoadGenerator(LoadConfig config)
+    : cfg(config), rng(cfg.seed),
+      sizeDist(cfg.meanQuerySamples, cfg.querySizeSigma)
+{
+    fatal_if(cfg.qps <= 0.0, "load needs a positive QPS, got ",
+             cfg.qps);
+    fatal_if(cfg.maxQuerySamples == 0,
+             "queries need at least one sample");
+    if (cfg.process == ArrivalProcess::Bursty) {
+        fatal_if(cfg.meanOnSeconds <= 0.0 ||
+                 cfg.meanOffSeconds < 0.0,
+                 "bursty load needs positive ON and non-negative "
+                 "OFF phase lengths");
+        // Inflate the ON-phase rate by the duty-cycle inverse so the
+        // long-run mean stays at cfg.qps.
+        onRate = cfg.qps *
+            (cfg.meanOnSeconds + cfg.meanOffSeconds) /
+            cfg.meanOnSeconds;
+        phaseEnd = exponential(1.0 / cfg.meanOnSeconds);
+    }
+}
+
+double
+LoadGenerator::exponential(double rate)
+{
+    return -std::log1p(-rng.nextDouble()) / rate;
+}
+
+Query
+LoadGenerator::next()
+{
+    if (cfg.process == ArrivalProcess::Poisson) {
+        clock += exponential(cfg.qps);
+    } else {
+        // Interrupted Poisson: draw ON-phase gaps; a gap that
+        // crosses the phase boundary is abandoned (the exponential
+        // is memoryless) and the draw restarts after the OFF phase.
+        for (;;) {
+            const double gap = exponential(onRate);
+            if (clock + gap <= phaseEnd) {
+                clock += gap;
+                break;
+            }
+            clock = phaseEnd +
+                exponential(1.0 / cfg.meanOffSeconds);
+            phaseEnd = clock + exponential(1.0 / cfg.meanOnSeconds);
+        }
+    }
+
+    Query q;
+    q.id = nextId++;
+    q.arrival = clock;
+    q.samples = static_cast<std::uint32_t>(std::clamp(
+        std::round(sizeDist(rng)), 1.0,
+        static_cast<double>(cfg.maxQuerySamples)));
+    q.batchIndex = cfg.firstBatchIndex + q.id;
+    return q;
+}
+
+std::vector<Query>
+LoadGenerator::generate(std::uint64_t count)
+{
+    std::vector<Query> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        out.push_back(next());
+    return out;
+}
+
+std::vector<Query>
+LoadGenerator::generateFor(double duration_seconds)
+{
+    fatal_if(duration_seconds <= 0.0,
+             "load window must be positive, got ", duration_seconds);
+    std::vector<Query> out;
+    for (;;) {
+        const Query q = next();
+        if (q.arrival >= duration_seconds)
+            return out;
+        out.push_back(q);
+    }
+}
+
+} // namespace recshard

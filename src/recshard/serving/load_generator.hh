@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Online request-load synthesis for serving-side plan evaluation.
+ *
+ * Training replay (engine/) asks "how long does a fixed iteration
+ * take?"; serving asks "what latency distribution does a sharding
+ * plan deliver at N queries per second?". The LoadGenerator produces
+ * the request side of that question: a deterministic, seeded stream
+ * of query arrivals with
+ *
+ *   - Poisson arrivals (independent users, exponential gaps), or
+ *   - bursty on/off arrivals (an interrupted Poisson process whose
+ *     ON-phase rate is inflated so the configured mean QPS is
+ *     preserved — the flash-crowd shape that stresses tail latency),
+ *
+ * and per-query sizes (ranking candidates scored per request) drawn
+ * from a capped log-normal. Each query carries a dataset batch index
+ * from a region disjoint from profiling and training replay, so its
+ * embedding lookups are fresh but reproducible from the seed.
+ */
+
+#ifndef RECSHARD_SERVING_LOAD_GENERATOR_HH
+#define RECSHARD_SERVING_LOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/base/random.hh"
+#include "recshard/dist/sampling.hh"
+
+namespace recshard {
+
+/** Arrival-process family. */
+enum class ArrivalProcess { Poisson, Bursty };
+
+/** Load-generator controls. */
+struct LoadConfig
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    /** Mean arrival rate, queries per second (both processes). */
+    double qps = 1000.0;
+    /** Bursty only: mean ON (arrivals flowing) phase length. */
+    double meanOnSeconds = 0.050;
+    /** Bursty only: mean OFF (silent) phase length. */
+    double meanOffSeconds = 0.150;
+    /** Mean samples (ranking candidates) per query. */
+    double meanQuerySamples = 4.0;
+    /** Log-normal spread of the query size; 0 = constant. */
+    double querySizeSigma = 0.5;
+    /** Inclusive cap on samples per query. */
+    std::uint32_t maxQuerySamples = 64;
+    std::uint64_t seed = 1;
+    /** Dataset batch-index region for query lookups; must stay
+     *  disjoint from training replay (small indices) and profiling
+     *  (1 << 40 region) for every month, including under the
+     *  dataset's (month << 40) ^ batch_index substream keying —
+     *  bit 62 is untouchable by any realistic month value. */
+    std::uint64_t firstBatchIndex = 1ULL << 62;
+};
+
+/** One inference request. */
+struct Query
+{
+    std::uint64_t id = 0;
+    double arrival = 0.0;       //!< seconds since stream start
+    std::uint32_t samples = 1;  //!< candidates scored by the query
+    std::uint64_t batchIndex = 0; //!< dataset index of its lookups
+};
+
+/** Deterministic arrival-stream generator. */
+class LoadGenerator
+{
+  public:
+    explicit LoadGenerator(LoadConfig config);
+
+    /** Next query in arrival order (streaming). */
+    Query next();
+
+    /** The first `count` queries of the stream. */
+    std::vector<Query> generate(std::uint64_t count);
+
+    /** All queries arriving before `duration` seconds. */
+    std::vector<Query> generateFor(double duration_seconds);
+
+    const LoadConfig &config() const { return cfg; }
+
+  private:
+    double exponential(double rate);
+
+    LoadConfig cfg;
+    Rng rng;
+    LogNormal sizeDist;
+    double clock = 0.0;
+    double onRate = 0.0;     //!< bursty: arrival rate during ON
+    double phaseEnd = 0.0;   //!< bursty: end of the current ON phase
+    std::uint64_t nextId = 0;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_SERVING_LOAD_GENERATOR_HH

@@ -1,0 +1,40 @@
+#include "recshard/serving/lru_cache.hh"
+
+namespace recshard {
+
+LruRowCache::LruRowCache(std::uint64_t capacity_rows)
+    : capacityV(capacity_rows)
+{
+}
+
+bool
+LruRowCache::touch(std::uint64_t key)
+{
+    if (capacityV == 0)
+        return false;
+    const auto it = map.find(key);
+    if (it != map.end()) {
+        order.splice(order.begin(), order, it->second);
+        ++hitsV;
+        return true;
+    }
+    ++missesV;
+    if (map.size() >= capacityV) {
+        map.erase(order.back());
+        order.pop_back();
+    }
+    order.push_front(key);
+    map[key] = order.begin();
+    return false;
+}
+
+double
+LruRowCache::hitRate() const
+{
+    const std::uint64_t total = hitsV + missesV;
+    return total ? static_cast<double>(hitsV) /
+            static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace recshard

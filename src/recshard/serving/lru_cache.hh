@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LRU hot-row cache for the serving path.
+ *
+ * A RecShard plan pins each EMB's *statistically* hottest rows in
+ * HBM; live traffic additionally has short-term temporal locality
+ * the offline CDF cannot see. Serving systems exploit it with a
+ * small software cache in front of the slow tier (RecNMP and RecSSD
+ * both report high hit rates from exactly this effect): a UVM-tier
+ * lookup that hits the cache is served at HBM speed. Each GPU
+ * server owns one cache instance, so no locking is needed — the
+ * server thread is the only toucher.
+ */
+
+#ifndef RECSHARD_SERVING_LRU_CACHE_HH
+#define RECSHARD_SERVING_LRU_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace recshard {
+
+/** Fixed-capacity LRU set of (table, row) keys. */
+class LruRowCache
+{
+  public:
+    /** @param capacity_rows Rows the cache can hold; 0 disables. */
+    explicit LruRowCache(std::uint64_t capacity_rows);
+
+    /**
+     * Look up a key, promoting it to most-recently-used; on a miss
+     * the key is inserted (evicting the LRU entry when full).
+     *
+     * @return true on a hit.
+     */
+    bool touch(std::uint64_t key);
+
+    /** Compose the cache key for one EMB row. */
+    static std::uint64_t
+    rowKey(std::uint32_t table, std::uint64_t row)
+    {
+        // Hash sizes stay far below 2^48, so the table id fits in
+        // the top 16 bits without collisions.
+        return (static_cast<std::uint64_t>(table) << 48) | row;
+    }
+
+    bool enabled() const { return capacityV > 0; }
+    std::uint64_t capacity() const { return capacityV; }
+    std::uint64_t size() const { return map.size(); }
+    std::uint64_t hits() const { return hitsV; }
+    std::uint64_t misses() const { return missesV; }
+
+    /** Hits over all touches; 0 when untouched. */
+    double hitRate() const;
+
+  private:
+    std::uint64_t capacityV;
+    std::list<std::uint64_t> order; //!< MRU at front
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator> map;
+    std::uint64_t hitsV = 0;
+    std::uint64_t missesV = 0;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_SERVING_LRU_CACHE_HH

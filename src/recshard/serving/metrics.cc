@@ -1,0 +1,112 @@
+#include "recshard/serving/metrics.hh"
+
+#include <algorithm>
+
+#include "recshard/base/logging.hh"
+#include "recshard/base/stats.hh"
+
+namespace recshard {
+
+void
+ServingMetrics::recordQuery(double arrival, double completion)
+{
+    fatal_if(completion < arrival, "query completed at ", completion,
+             " before arriving at ", arrival);
+    arrivals.push_back(arrival);
+    completions.push_back(completion);
+}
+
+void
+ServingMetrics::recordBatch(std::uint64_t num_queries)
+{
+    ++batchesV;
+    batchedQueries += num_queries;
+}
+
+void
+ServingMetrics::recordTraffic(std::uint64_t hbm_, std::uint64_t uvm_,
+                              std::uint64_t cache_hits)
+{
+    hbm += hbm_;
+    uvm += uvm_;
+    cacheHitsV += cache_hits;
+}
+
+ServingReport
+ServingMetrics::report(const std::string &strategy,
+                       double sla_seconds, std::uint32_t gpus,
+                       double busy_seconds) const
+{
+    ServingReport r;
+    r.strategy = strategy;
+    r.slaSeconds = sla_seconds;
+    r.queries = arrivals.size();
+    r.batches = batchesV;
+    r.hbmAccesses = hbm;
+    r.uvmAccesses = uvm;
+    r.cacheHits = cacheHitsV;
+    r.cacheHitRate = cacheHitsV + uvm
+        ? static_cast<double>(cacheHitsV) /
+            static_cast<double>(cacheHitsV + uvm)
+        : 0.0;
+    const std::uint64_t accesses = hbm + uvm + cacheHitsV;
+    r.uvmAccessFraction = accesses
+        ? static_cast<double>(uvm) / static_cast<double>(accesses)
+        : 0.0;
+    if (arrivals.empty())
+        return r;
+
+    std::vector<double> latencies(arrivals.size());
+    std::uint64_t violations = 0;
+    RunningStat lat;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        latencies[i] = completions[i] - arrivals[i];
+        lat.push(latencies[i]);
+        violations += latencies[i] > sla_seconds;
+    }
+    r.meanLatency = lat.mean();
+    r.maxLatency = lat.max();
+    std::sort(latencies.begin(), latencies.end());
+    r.p50Latency = sortedPercentile(latencies, 0.50);
+    r.p95Latency = sortedPercentile(latencies, 0.95);
+    r.p99Latency = sortedPercentile(latencies, 0.99);
+    r.slaViolationRate = static_cast<double>(violations) /
+        static_cast<double>(r.queries);
+    r.meanBatchQueries = batchesV
+        ? static_cast<double>(batchedQueries) /
+            static_cast<double>(batchesV)
+        : 0.0;
+
+    // Queue depth over time: sweep +1/-1 events, weighting each
+    // depth by how long it persisted.
+    std::vector<std::pair<double, int>> events;
+    events.reserve(2 * arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        events.push_back({arrivals[i], +1});
+        events.push_back({completions[i], -1});
+    }
+    std::sort(events.begin(), events.end());
+    const double start = events.front().first;
+    const double end = events.back().first;
+    r.durationSeconds = end - start;
+    double weighted = 0.0;
+    double prev = start;
+    std::int64_t depth = 0;
+    for (const auto &[t, delta] : events) {
+        weighted += static_cast<double>(depth) * (t - prev);
+        depth += delta;
+        r.maxQueueDepth = std::max<std::uint64_t>(
+            r.maxQueueDepth, static_cast<std::uint64_t>(
+                                 std::max<std::int64_t>(depth, 0)));
+        prev = t;
+    }
+    if (r.durationSeconds > 0.0) {
+        r.meanQueueDepth = weighted / r.durationSeconds;
+        r.qps = static_cast<double>(r.queries) / r.durationSeconds;
+        r.serverUtilization = busy_seconds /
+            (static_cast<double>(gpus) * r.durationSeconds);
+    }
+    return r;
+}
+
+} // namespace recshard

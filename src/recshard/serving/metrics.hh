@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Serving-side measurement: what a sharding plan delivers under
+ * live traffic.
+ *
+ * The offline engine reports mean iteration time; serving SLAs are
+ * written against *tail* latency at a target throughput. The
+ * ServingMetrics collector accumulates per-query latencies, batch
+ * shapes, and tier traffic, and reduces them to a ServingReport:
+ * achieved QPS, p50/p95/p99 latency, time-weighted queue depth,
+ * cache hit rate, server utilization, and the SLA violation rate —
+ * the numbers a capacity planner compares across plans.
+ */
+
+#ifndef RECSHARD_SERVING_METRICS_HH
+#define RECSHARD_SERVING_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recshard {
+
+/** One plan's measurements under one traffic trace. */
+struct ServingReport
+{
+    std::string strategy;
+    std::uint64_t queries = 0;
+    std::uint64_t batches = 0;
+    /** First arrival to last completion, seconds. */
+    double durationSeconds = 0.0;
+    /** Completed queries per second of that window. */
+    double qps = 0.0;
+
+    double meanLatency = 0.0;
+    double p50Latency = 0.0;
+    double p95Latency = 0.0;
+    double p99Latency = 0.0;
+    double maxLatency = 0.0;
+
+    /** Time-weighted mean of in-flight (admitted, incomplete)
+     *  queries. */
+    double meanQueueDepth = 0.0;
+    std::uint64_t maxQueueDepth = 0;
+    double meanBatchQueries = 0.0;
+
+    std::uint64_t hbmAccesses = 0;
+    std::uint64_t uvmAccesses = 0;
+    std::uint64_t cacheHits = 0;
+    /** Hits over all would-be-UVM lookups (hits + misses). */
+    double cacheHitRate = 0.0;
+    /** UVM share of all EMB accesses after the cache. */
+    double uvmAccessFraction = 0.0;
+
+    double slaSeconds = 0.0;
+    /** Fraction of queries with latency above slaSeconds. */
+    double slaViolationRate = 0.0;
+    /** Busy seconds over GPU-seconds of the serving window. */
+    double serverUtilization = 0.0;
+};
+
+/** Streaming accumulator producing a ServingReport. */
+class ServingMetrics
+{
+  public:
+    /** One query's life: admitted at `arrival`, done at
+     *  `completion`. */
+    void recordQuery(double arrival, double completion);
+
+    /** One sealed micro-batch's shape. */
+    void recordBatch(std::uint64_t num_queries);
+
+    /** Tier traffic of one executed batch (summed over GPUs). */
+    void recordTraffic(std::uint64_t hbm, std::uint64_t uvm,
+                       std::uint64_t cache_hits);
+
+    /**
+     * Reduce to a report.
+     *
+     * @param strategy     Plan name for the report.
+     * @param sla_seconds  Latency SLA to score violations against.
+     * @param gpus         Server count (for utilization).
+     * @param busy_seconds Total busy time across servers.
+     */
+    ServingReport report(const std::string &strategy,
+                         double sla_seconds, std::uint32_t gpus,
+                         double busy_seconds) const;
+
+  private:
+    std::vector<double> arrivals;
+    std::vector<double> completions;
+    std::uint64_t batchesV = 0;
+    std::uint64_t batchedQueries = 0;
+    std::uint64_t hbm = 0;
+    std::uint64_t uvm = 0;
+    std::uint64_t cacheHitsV = 0;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_SERVING_METRICS_HH

@@ -1,0 +1,67 @@
+#include "recshard/serving/scheduler.hh"
+
+#include <algorithm>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+BatchScheduler::BatchScheduler(BatchingConfig config) : cfg(config)
+{
+    fatal_if(cfg.maxBatchSamples == 0,
+             "batching needs a positive sample target");
+    fatal_if(cfg.maxBatchQueries == 0,
+             "batching needs a positive query target");
+    fatal_if(cfg.maxWaitSeconds < 0.0,
+             "batching wait deadline must be >= 0, got ",
+             cfg.maxWaitSeconds);
+}
+
+void
+BatchScheduler::seal(double close_time)
+{
+    open.id = nextBatchId++;
+    open.closeTime = close_time;
+    sealed.push_back(std::move(open));
+    open = MicroBatch{};
+    openSamples = 0;
+}
+
+void
+BatchScheduler::admit(const Query &query)
+{
+    fatal_if(query.arrival < lastArrival,
+             "arrivals must be admitted in time order (",
+             query.arrival, " after ", lastArrival, ")");
+    lastArrival = query.arrival;
+
+    // The open batch's deadline may have fired before this arrival.
+    if (!open.queries.empty()) {
+        const double deadline =
+            open.oldestArrival() + cfg.maxWaitSeconds;
+        if (query.arrival >= deadline)
+            seal(deadline);
+    }
+
+    openSamples += query.samples;
+    open.queries.push_back(query);
+    if (openSamples >= cfg.maxBatchSamples ||
+        open.queries.size() >= cfg.maxBatchQueries) {
+        seal(query.arrival);
+    }
+}
+
+void
+BatchScheduler::flush()
+{
+    if (!open.queries.empty())
+        seal(open.oldestArrival() + cfg.maxWaitSeconds);
+}
+
+std::vector<MicroBatch>
+BatchScheduler::takeBatches()
+{
+    return std::move(sealed);
+}
+
+} // namespace recshard

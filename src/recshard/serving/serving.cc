@@ -1,0 +1,109 @@
+#include "recshard/serving/serving.hh"
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+ServingTrace
+generateTrace(const SyntheticDataset &data,
+              const ServingConfig &config)
+{
+    fatal_if(config.numQueries == 0, "need at least one query");
+    LoadGenerator generator(config.load);
+    BatchScheduler scheduler(config.batching);
+    for (std::uint64_t i = 0; i < config.numQueries; ++i)
+        scheduler.admit(generator.next());
+    scheduler.flush();
+
+    ServingTrace trace;
+    trace.batches = scheduler.takeBatches();
+
+    // Materialize every lookup once; each plan evaluation reuses
+    // them, paying the Zipf-sampling cost a single time.
+    const std::uint32_t J = data.spec().numFeatures();
+    trace.lookups.resize(trace.batches.size());
+    for (std::size_t b = 0; b < trace.batches.size(); ++b) {
+        auto &per_feature = trace.lookups[b];
+        per_feature.resize(J);
+        for (const Query &q : trace.batches[b].queries) {
+            for (std::uint32_t j = 0; j < J; ++j) {
+                const FeatureBatch fb =
+                    data.featureBatch(j, q.samples, q.batchIndex);
+                per_feature[j].insert(per_feature[j].end(),
+                                      fb.indices.begin(),
+                                      fb.indices.end());
+            }
+        }
+    }
+    return trace;
+}
+
+namespace {
+
+/** Run one plan over a materialized trace; reduce to a report. */
+ServingReport
+serveTrace(const SyntheticDataset &data, const ShardingPlan &plan,
+           const std::vector<TierResolver> &resolvers,
+           const SystemSpec &system, const ServingConfig &config,
+           const ServingTrace &trace)
+{
+    ShardServerPool pool(data.spec(), plan, resolvers, system,
+                         config.server);
+    const std::vector<BatchCompletion> completions =
+        pool.run(trace);
+
+    ServingMetrics metrics;
+    for (std::size_t b = 0; b < trace.batches.size(); ++b) {
+        const MicroBatch &batch = trace.batches[b];
+        const BatchCompletion &done = completions[b];
+        metrics.recordBatch(batch.queries.size());
+        metrics.recordTraffic(done.hbmAccesses, done.uvmAccesses,
+                              done.cacheHits);
+        for (const Query &q : batch.queries)
+            metrics.recordQuery(q.arrival, done.finishTime);
+    }
+
+    double busy = 0.0;
+    for (const ShardServer &server : pool.servers())
+        busy += server.busySeconds();
+    return metrics.report(plan.strategy, config.slaSeconds,
+                          system.numGpus, busy);
+}
+
+} // namespace
+
+ServingReport
+serveTraffic(const SyntheticDataset &data, const ShardingPlan &plan,
+             const std::vector<TierResolver> &resolvers,
+             const SystemSpec &system, const ServingConfig &config)
+{
+    return serveTrafficComparison(data, {&plan}, {resolvers}, system,
+                                  config)
+        .front();
+}
+
+std::vector<ServingReport>
+serveTrafficComparison(
+    const SyntheticDataset &data,
+    const std::vector<const ShardingPlan *> &plans,
+    const std::vector<std::vector<TierResolver>> &resolvers,
+    const SystemSpec &system, const ServingConfig &config)
+{
+    fatal_if(plans.empty(), "no plans to serve");
+    fatal_if(resolvers.size() != plans.size(),
+             "resolver sets (", resolvers.size(), ") != plans (",
+             plans.size(), ")");
+    fatal_if(config.slaSeconds < 0.0,
+             "latency SLA must be >= 0, got ", config.slaSeconds);
+
+    const ServingTrace trace = generateTrace(data, config);
+
+    std::vector<ServingReport> reports;
+    reports.reserve(plans.size());
+    for (std::size_t p = 0; p < plans.size(); ++p)
+        reports.push_back(serveTrace(data, *plans[p], resolvers[p],
+                                     system, config, trace));
+    return reports;
+}
+
+} // namespace recshard

@@ -1,0 +1,133 @@
+#include "recshard/serving/shard_server.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+ShardServer::ShardServer(std::uint32_t gpu, const ModelSpec &model_,
+                         const ShardingPlan &plan,
+                         const std::vector<TierResolver> &resolvers_,
+                         const EmbCostModel &cost_,
+                         ShardServerConfig config)
+    : gpuV(gpu), model(model_), resolvers(resolvers_),
+      cost(cost_), cfg(config), lru(config.cacheRows)
+{
+    fatal_if(resolvers.size() != plan.tables.size(),
+             "plan has ", plan.tables.size(), " tables but ",
+             resolvers.size(), " resolvers");
+    for (std::uint32_t j = 0; j < plan.tables.size(); ++j)
+        if (plan.tables[j].gpu == gpuV)
+            features.push_back(j);
+}
+
+BatchExecution
+ShardServer::execute(
+    const MicroBatch &batch,
+    const std::vector<std::vector<std::uint64_t>> &lookups)
+{
+    panic_if(lookups.size() != model.features.size(),
+             "batch carries ", lookups.size(), " lookup lists for ",
+             model.features.size(), " features");
+    BatchExecution exec;
+    exec.batchId = batch.id;
+    exec.readyTime = batch.closeTime;
+
+    std::uint64_t hbm_bytes = 0;
+    std::uint64_t uvm_bytes = 0;
+    for (const std::uint32_t j : features) {
+        const TierResolver &res = resolvers[j];
+        const std::uint64_t row_bytes = model.features[j].rowBytes();
+        std::uint64_t fast = 0; // HBM-speed: pinned rows + cache hits
+        std::uint64_t slow = 0;
+        for (const std::uint64_t idx : lookups[j]) {
+            if (res.inHbm(idx)) {
+                ++fast;
+                ++exec.hbmAccesses;
+            } else if (lru.touch(LruRowCache::rowKey(j, idx))) {
+                ++fast;
+                ++exec.cacheHits;
+            } else {
+                ++slow;
+                ++exec.uvmAccesses;
+            }
+        }
+        hbm_bytes += fast * row_bytes;
+        uvm_bytes += slow * row_bytes;
+    }
+
+    exec.serviceSeconds = cost.time(hbm_bytes, uvm_bytes) +
+        cfg.batchOverheadSeconds;
+    exec.startTime = std::max(exec.readyTime, freeTime);
+    exec.finishTime = exec.startTime + exec.serviceSeconds;
+    freeTime = exec.finishTime;
+    busy += exec.serviceSeconds;
+    return exec;
+}
+
+ShardServerPool::ShardServerPool(
+    const ModelSpec &model, const ShardingPlan &plan,
+    const std::vector<TierResolver> &resolvers,
+    const SystemSpec &system, ShardServerConfig config)
+    : cost(system)
+{
+    plan.validate(model, system);
+    fleet.reserve(system.numGpus);
+    for (std::uint32_t m = 0; m < system.numGpus; ++m)
+        fleet.emplace_back(m, model, plan, resolvers, cost, config);
+}
+
+std::vector<BatchCompletion>
+ShardServerPool::run(const ServingTrace &trace)
+{
+    const std::vector<MicroBatch> &batches = trace.batches;
+    fatal_if(trace.lookups.size() != batches.size(),
+             "trace has ", trace.lookups.size(),
+             " lookup sets for ", batches.size(), " batches");
+    const std::size_t M = fleet.size();
+    // Per-GPU execution records, indexed [gpu][batch position].
+    std::vector<std::vector<BatchExecution>> execs(M);
+    std::vector<WorkQueue<std::size_t>> queues(M);
+
+    std::vector<std::thread> threads;
+    threads.reserve(M);
+    for (std::size_t m = 0; m < M; ++m) {
+        execs[m].reserve(batches.size());
+        threads.emplace_back([this, m, &execs, &queues, &trace] {
+            std::size_t b = 0;
+            while (queues[m].pop(b))
+                execs[m].push_back(fleet[m].execute(
+                    trace.batches[b], trace.lookups[b]));
+        });
+    }
+
+    // Dispatch every sealed batch to every shard (model-parallel
+    // inference touches all GPUs), then drain.
+    for (std::size_t b = 0; b < batches.size(); ++b)
+        for (auto &queue : queues)
+            queue.push(b);
+    for (auto &queue : queues)
+        queue.close();
+    for (auto &thread : threads)
+        thread.join();
+
+    std::vector<BatchCompletion> out(batches.size());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        BatchCompletion &c = out[b];
+        c.batchId = batches[b].id;
+        for (std::size_t m = 0; m < M; ++m) {
+            const BatchExecution &e = execs[m][b];
+            panic_if(e.batchId != c.batchId,
+                     "server ", m, " processed batches out of order");
+            c.finishTime = std::max(c.finishTime, e.finishTime);
+            c.hbmAccesses += e.hbmAccesses;
+            c.uvmAccesses += e.uvmAccesses;
+            c.cacheHits += e.cacheHits;
+        }
+    }
+    return out;
+}
+
+} // namespace recshard

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Per-GPU shard executors and the multi-threaded server pool.
+ *
+ * A ShardServer models one GPU serving its shard of the embedding
+ * tables under a sharding plan: for each micro-batch it walks the
+ * trace's materialized lookups, resolves every row to HBM or UVM
+ * with the plan's TierResolver, lets the LRU hot-row cache absorb
+ * UVM hits, and prices the batch with the same EmbCostModel the
+ * offline engine uses. Latency accounting runs in virtual time — a server
+ * is a FIFO queue with deterministic service times, so results are
+ * reproducible regardless of thread scheduling — while the
+ * ShardServerPool runs the servers on real threads (one per GPU,
+ * fed through WorkQueues) so wall-clock evaluation scales with
+ * cores.
+ *
+ * A query completes when every GPU has finished its micro-batch
+ * (the all-gather barrier of model-parallel inference), so query
+ * latency is bounded below by the slowest shard — exactly the
+ * bottleneck a RecShard plan minimizes.
+ */
+
+#ifndef RECSHARD_SERVING_SHARD_SERVER_HH
+#define RECSHARD_SERVING_SHARD_SERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/datagen/feature_spec.hh"
+#include "recshard/memsim/system_spec.hh"
+#include "recshard/remap/remap_table.hh"
+#include "recshard/serving/lru_cache.hh"
+#include "recshard/serving/scheduler.hh"
+#include "recshard/sharding/plan.hh"
+
+namespace recshard {
+
+/**
+ * A fully materialized traffic trace: sealed micro-batches plus
+ * every embedding lookup they trigger. Lookups are plan-independent
+ * (they depend only on the data stream and the queries), so one
+ * trace is generated once and shared across every plan evaluated
+ * against it — the dominant Zipf-sampling cost is paid once, not
+ * once per plan. Memory is linear in total lookups (~8 bytes each).
+ */
+struct ServingTrace
+{
+    std::vector<MicroBatch> batches;
+    /** lookups[b][j]: row ids feature j reads for batch b, in
+     *  query-major order. */
+    std::vector<std::vector<std::vector<std::uint64_t>>> lookups;
+};
+
+/** Per-server knobs. */
+struct ShardServerConfig
+{
+    /** Per-GPU LRU hot-row cache capacity; 0 disables the cache. */
+    std::uint64_t cacheRows = 0;
+    /** Fixed per-micro-batch overhead (kernel launch + gather). */
+    double batchOverheadSeconds = 20e-6;
+};
+
+/** One micro-batch's execution record on one GPU. */
+struct BatchExecution
+{
+    std::uint64_t batchId = 0;
+    double readyTime = 0.0;   //!< batch seal (dispatch) time
+    double startTime = 0.0;   //!< max(readyTime, server free time)
+    double finishTime = 0.0;  //!< startTime + serviceSeconds
+    double serviceSeconds = 0.0;
+    std::uint64_t hbmAccesses = 0;  //!< plan-pinned rows
+    std::uint64_t uvmAccesses = 0;  //!< slow-tier misses
+    std::uint64_t cacheHits = 0;    //!< UVM rows absorbed by the LRU
+};
+
+/** One GPU's shard executor (single-threaded, virtual-time FIFO). */
+class ShardServer
+{
+  public:
+    /**
+     * @param gpu       GPU id this server models.
+     * @param model     Model being served (row geometry).
+     * @param plan      Sharding plan being evaluated.
+     * @param resolvers Per-EMB tier resolvers for the plan.
+     * @param cost      Kernel cost model of the system.
+     * @param config    Cache and overhead knobs.
+     */
+    ShardServer(std::uint32_t gpu, const ModelSpec &model,
+                const ShardingPlan &plan,
+                const std::vector<TierResolver> &resolvers,
+                const EmbCostModel &cost, ShardServerConfig config);
+
+    /**
+     * Execute one micro-batch; advances the virtual clock.
+     *
+     * @param batch   The sealed batch (timing metadata).
+     * @param lookups Per-feature row ids the batch reads (the
+     *                trace's lookups[b]); only this GPU's features
+     *                are touched.
+     */
+    BatchExecution
+    execute(const MicroBatch &batch,
+            const std::vector<std::vector<std::uint64_t>> &lookups);
+
+    std::uint32_t gpu() const { return gpuV; }
+    /** Tables this shard owns. */
+    std::size_t numTables() const { return features.size(); }
+    /** Accumulated busy (service) seconds. */
+    double busySeconds() const { return busy; }
+    const LruRowCache &cache() const { return lru; }
+
+  private:
+    std::uint32_t gpuV;
+    const ModelSpec &model;
+    const std::vector<TierResolver> &resolvers;
+    const EmbCostModel &cost;
+    ShardServerConfig cfg;
+    std::vector<std::uint32_t> features; //!< EMBs on this GPU
+    LruRowCache lru;
+    double freeTime = 0.0; //!< virtual time the server idles from
+    double busy = 0.0;
+};
+
+/** All GPUs' execution records for one micro-batch. */
+struct BatchCompletion
+{
+    std::uint64_t batchId = 0;
+    /** All-gather completion: slowest shard's finish time. */
+    double finishTime = 0.0;
+    /** Summed tier traffic across GPUs. */
+    std::uint64_t hbmAccesses = 0;
+    std::uint64_t uvmAccesses = 0;
+    std::uint64_t cacheHits = 0;
+};
+
+/** Threaded fleet of per-GPU servers evaluating one plan. */
+class ShardServerPool
+{
+  public:
+    ShardServerPool(const ModelSpec &model, const ShardingPlan &plan,
+                    const std::vector<TierResolver> &resolvers,
+                    const SystemSpec &system,
+                    ShardServerConfig config);
+
+    /**
+     * Serve a materialized trace to completion: one thread per GPU,
+     * each draining its own admission WorkQueue in FIFO order.
+     * Deterministic for a fixed trace.
+     *
+     * @return Per-batch completions, in batch order.
+     */
+    std::vector<BatchCompletion> run(const ServingTrace &trace);
+
+    const std::vector<ShardServer> &servers() const
+    {
+        return fleet;
+    }
+
+  private:
+    EmbCostModel cost;
+    std::vector<ShardServer> fleet;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_SERVING_SHARD_SERVER_HH

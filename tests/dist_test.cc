@@ -237,8 +237,9 @@ TEST(FrequencyCdf, RoundTripPropertyOnRandomCounts)
             const auto k = cdf.rowsForFraction(p);
             // Minimality: k rows cover p, k-1 rows do not.
             EXPECT_GE(cdf.accessFraction(k) + 1e-12, p);
-            if (k > 0)
+            if (k > 0) {
                 EXPECT_LT(cdf.accessFraction(k - 1), p);
+            }
         }
     }
 }
