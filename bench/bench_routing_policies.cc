@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Routing-policy comparison: round-robin vs. least-outstanding vs.
+ * locality-aware, each with and without request hedging, on one
+ * multi-node cluster serving identical traffic.
+ *
+ * The headline question is the tail-at-scale one: at equal offered
+ * load, does locality-aware routing plus p95-triggered hedging hold
+ * the p99 latency that plain round-robin (the production default)
+ * lets grow? All six combinations replay the *same* materialized
+ * query trace against the *same* per-node plans, so every
+ * difference in the table is attributable to the routing decision.
+ */
+
+#include <iostream>
+
+#include "recshard/base/flags.hh"
+#include "recshard/base/table.hh"
+#include "recshard/base/units.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/routing/router.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_routing_policies");
+    flags.addInt("features", 12, "sparse features in the model");
+    flags.addInt("rows", 20000, "EMB rows per feature (pre-skew)");
+    flags.addInt("dim", 128, "embedding dimension");
+    flags.addInt("nodes", 3, "serving nodes behind the router");
+    flags.addInt("gpus", 2, "GPUs per serving node");
+    flags.addDouble("hbm-frac", 0.2,
+                    "fraction of the model one node's HBM holds");
+    flags.addDouble("qps", 180000, "mean arrival rate");
+    flags.addBool("bursty", "use bursty on/off arrivals");
+    flags.addInt("queries", 20000, "queries routed");
+    flags.addDouble("mean-samples", 4,
+                    "mean ranking candidates per query");
+    flags.addInt("cache-rows", 500,
+                 "per-GPU LRU hot-row cache rows");
+    flags.addDouble("overhead-us", 5.0,
+                    "fixed per-query kernel overhead, us");
+    flags.addDouble("sla-ms", 1.0, "latency SLA, ms");
+    flags.addDouble("hedge-quantile", 0.95,
+                    "latency quantile that sets the hedge delay");
+    flags.addDouble("load-penalty", 0.1,
+                    "locality score deducted per outstanding query");
+    flags.addInt("profile-samples", 30000, "profiling samples");
+    flags.addInt("seed", 7, "model/data/load seed");
+    flags.parse(argc, argv);
+
+    const auto seed =
+        static_cast<std::uint64_t>(flags.getInt("seed"));
+    ModelSpec model = makeTinyModel(
+        static_cast<std::uint32_t>(flags.getInt("features")),
+        static_cast<std::uint64_t>(flags.getInt("rows")), seed);
+    for (auto &f : model.features)
+        f.dim = static_cast<std::uint32_t>(flags.getInt("dim"));
+    SyntheticDataset data(model, seed * 2654435761ULL + 1);
+
+    SystemSpec system = SystemSpec::paper(
+        static_cast<std::uint32_t>(flags.getInt("gpus")), 1.0);
+    system.hbm.capacityBytes = static_cast<std::uint64_t>(
+        static_cast<double>(model.totalBytes()) *
+        flags.getDouble("hbm-frac") /
+        static_cast<double>(system.numGpus));
+    system.uvm.capacityBytes = model.totalBytes();
+
+    const auto profiles = profileDataset(
+        data,
+        static_cast<std::uint64_t>(flags.getInt("profile-samples")));
+
+    ClusterPlanOptions cp;
+    cp.numNodes =
+        static_cast<std::uint32_t>(flags.getInt("nodes"));
+    const RoutingCluster cluster =
+        buildRoutingCluster(model, profiles, system, cp);
+
+    LoadConfig load;
+    load.process = flags.getBool("bursty")
+        ? ArrivalProcess::Bursty : ArrivalProcess::Poisson;
+    load.qps = flags.getDouble("qps");
+    load.meanQuerySamples = flags.getDouble("mean-samples");
+    load.seed = seed ^ 0x60157ULL;
+    const RoutedTrace trace = materializeRoutedTrace(
+        data, load,
+        static_cast<std::uint64_t>(flags.getInt("queries")));
+
+    RouterConfig base;
+    base.server.cacheRows =
+        static_cast<std::uint64_t>(flags.getInt("cache-rows"));
+    base.server.batchOverheadSeconds =
+        flags.getDouble("overhead-us") / 1e6;
+    base.slaSeconds = flags.getDouble("sla-ms") / 1e3;
+    base.hedge.quantile = flags.getDouble("hedge-quantile");
+    base.localityLoadPenalty = flags.getDouble("load-penalty");
+
+    std::vector<RouterConfig> configs;
+    for (const bool hedging : {false, true}) {
+        for (const RoutingPolicy policy : allRoutingPolicies()) {
+            RouterConfig rc = base;
+            rc.policy = policy;
+            rc.hedge.enabled = hedging;
+            configs.push_back(rc);
+        }
+    }
+
+    std::cout << "Model: " << formatBytes(model.totalBytes())
+              << " of EMBs; " << cp.numNodes << " nodes x "
+              << system.numGpus << " GPUs; per-node HBM "
+              << formatBytes(system.numGpus *
+                             system.hbm.capacityBytes)
+              << "; " << trace.queries.size() << " queries at "
+              << load.qps << " QPS ("
+              << (flags.getBool("bursty") ? "bursty" : "Poisson")
+              << ")\n\n";
+
+    const auto reports =
+        routeTrafficComparison(model, cluster, configs, trace);
+
+    TextTable t({"Policy", "QPS", "p50", "p95", "p99", "max",
+                 "SLA viol %", "hedge %", "waste %", "UVM %",
+                 "cache hit %", "util %"});
+    for (const auto &r : reports) {
+        t.addRow({r.name, fmtDouble(r.qps, 0),
+                  formatSeconds(r.p50Latency),
+                  formatSeconds(r.p95Latency),
+                  formatSeconds(r.p99Latency),
+                  formatSeconds(r.maxLatency),
+                  fmtDouble(100 * r.slaViolationRate, 2),
+                  fmtDouble(100 * r.hedgeRate, 2),
+                  fmtDouble(100 * r.wastedWorkFraction, 2),
+                  fmtDouble(100 * r.uvmAccessFraction, 2),
+                  fmtDouble(100 * r.cacheHitRate, 1),
+                  fmtDouble(100 * r.clusterUtilization, 1)});
+    }
+    t.print(std::cout,
+            "Routing policies under identical traffic");
+
+    const RoutingReport *rr = nullptr, *best = nullptr;
+    for (const auto &r : reports) {
+        if (r.name == "round-robin")
+            rr = &r;
+        if (r.name == "locality-aware+hedge")
+            best = &r;
+    }
+    const double improvement = best->p99Latency > 0.0
+        ? rr->p99Latency / best->p99Latency : 1.0;
+    std::cout << "\nlocality-aware+hedge p99 improvement over "
+              << "round-robin (no hedging): "
+              << fmtDouble(improvement, 2) << "x\n";
+    std::cout << (best->p99Latency <= rr->p99Latency
+                      ? "HEADLINE HOLDS"
+                      : "HEADLINE VIOLATED")
+              << ": locality+hedge p99 "
+              << formatSeconds(best->p99Latency)
+              << (best->p99Latency <= rr->p99Latency ? " <= "
+                                                     : " > ")
+              << "round-robin p99 "
+              << formatSeconds(rr->p99Latency) << "\n";
+    return best->p99Latency <= rr->p99Latency ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown docs.
+
+Scans README.md, docs/, and every per-module README under src/ for
+inline markdown links, resolves relative targets against the linking
+file, and exits non-zero listing any target that does not exist.
+External links (with a URL scheme) and pure in-page anchors are
+skipped; an anchor suffix on a relative link is stripped before the
+existence check.
+
+Run from anywhere:  python3 scripts/check_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — won't match reference-style links, which the
+# docs don't use; code spans are stripped before matching.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`]*`")
+
+
+def doc_files():
+    yield from sorted(REPO.glob("*.md"))
+    yield from sorted((REPO / "docs").rglob("*.md"))
+    yield from sorted((REPO / "src").rglob("*.md"))
+
+
+def check(path: Path):
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE.sub("", text)
+    text = INLINE_CODE.sub("", text)
+    broken = []
+    for target in LINK.findall(text):
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def main() -> int:
+    failures = 0
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        for target, resolved in check(path):
+            failures += 1
+            rel = path.relative_to(REPO)
+            print(f"BROKEN {rel}: ({target}) -> {resolved}")
+    if failures:
+        print(f"\n{failures} broken link(s) across {checked} files")
+        return 1
+    print(f"OK: no broken relative links in {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,22 @@ RecShardPipeline::run() const
                                       opts.serving);
         result.servingSeconds = secondsSince(t0);
     }
+
+    // Phase 5 (optional): a multi-node cluster under routed load.
+    if (opts.evaluateRouting) {
+        t0 = Clock::now();
+        ClusterPlanOptions cp;
+        cp.numNodes = opts.routing.numNodes;
+        cp.solver = opts.solver;
+        const RoutingCluster cluster = buildRoutingCluster(
+            data.spec(), result.profiles, sys, cp);
+        const RoutedTrace trace = materializeRoutedTrace(
+            data, opts.routing.load, opts.routing.numQueries);
+        result.routing =
+            Router(data.spec(), cluster, opts.routing.router)
+                .route(trace);
+        result.routingSeconds = secondsSince(t0);
+    }
     return result;
 }
 

@@ -20,9 +20,16 @@
  * hot-row cache — and report throughput and p50/p95/p99 latency
  * against an SLA (see serving/serving.hh). Enable it with
  * PipelineOptions::evaluateServing; the report lands in
- * PipelineResult::serving. This is the seam scale-out work (multi-
- * node routing, request replication, admission policies) plugs
- * into.
+ * PipelineResult::serving.
+ *
+ * Routing (phase 5, optional): the multi-node scale-out of phase 4.
+ * The profiled tables are sliced across N serving nodes, one plan
+ * is solved per node (sharding/cluster_plan.hh), and a front-end
+ * Router replays an online query trace through the cluster under a
+ * configurable routing policy with optional tail-at-scale request
+ * hedging (routing/router.hh). Enable it with
+ * PipelineOptions::evaluateRouting; the report lands in
+ * PipelineResult::routing.
  */
 
 #ifndef RECSHARD_CORE_PIPELINE_HH
@@ -33,11 +40,25 @@
 
 #include "recshard/engine/execution.hh"
 #include "recshard/profiler/profiler.hh"
+#include "recshard/routing/router.hh"
 #include "recshard/serving/serving.hh"
 #include "recshard/sharding/milp_formulation.hh"
 #include "recshard/sharding/recshard_solver.hh"
 
 namespace recshard {
+
+/** Phase 5 controls: the multi-node routing evaluation. */
+struct RoutingPhaseOptions
+{
+    /** Serving nodes the cluster fronts. */
+    std::uint32_t numNodes = 3;
+    /** Arrival process for the routed query trace. */
+    LoadConfig load;
+    /** Queries to generate and route. */
+    std::uint64_t numQueries = 2000;
+    /** Policy, hedging, and per-node server knobs. */
+    RouterConfig router;
+};
 
 /** Pipeline controls. */
 struct PipelineOptions
@@ -52,6 +73,9 @@ struct PipelineOptions
     /** Run the optional serving phase on the solved plan. */
     bool evaluateServing = false;
     ServingConfig serving;
+    /** Run the optional multi-node routing phase. */
+    bool evaluateRouting = false;
+    RoutingPhaseOptions routing;
 };
 
 /** Everything the pipeline produces. */
@@ -66,10 +90,14 @@ struct PipelineResult
     std::uint64_t remapStorageBytes = 0;
     /** Phase 4 (only when requested): the plan under live load. */
     ServingReport serving;
+    /** Phase 5 (only when requested): the multi-node cluster under
+     *  routed load. */
+    RoutingReport routing;
     double profileSeconds = 0.0;
     double solveSeconds = 0.0;
     double remapSeconds = 0.0;
     double servingSeconds = 0.0;
+    double routingSeconds = 0.0;
 };
 
 /** One-call RecShard pipeline over a synthetic data stream. */

@@ -398,6 +398,54 @@ evaluateServing(const ExperimentConfig &cfg,
     return eval;
 }
 
+const RoutingReport &
+RoutingEvaluation::byName(const std::string &name) const
+{
+    for (const auto &r : policies)
+        if (r.name == name)
+            return r;
+    fatal("no routing report named '", name,
+          "' in routing evaluation of ", modelName);
+}
+
+RoutingEvaluation
+evaluateRouting(const ExperimentConfig &cfg,
+                const std::string &model_name,
+                const RoutingPhaseOptions &routing)
+{
+    inform("routing ", model_name, " at scale ", cfg.scale,
+           " across ", routing.numNodes, " nodes of ", cfg.gpus,
+           " GPUs at ", routing.load.qps, " QPS...");
+    const PreparedModel prep = prepareModel(cfg, model_name);
+
+    ClusterPlanOptions cp;
+    cp.numNodes = routing.numNodes;
+    cp.solver.batchSize = cfg.batch;
+    const RoutingCluster cluster = buildRoutingCluster(
+        prep.model, prep.profiles, prep.sys, cp);
+    const RoutedTrace trace = materializeRoutedTrace(
+        prep.data, routing.load, routing.numQueries);
+
+    // Six combinations on one trace: policies without hedging,
+    // then the same policies with it.
+    std::vector<RouterConfig> configs;
+    for (const bool hedging : {false, true}) {
+        for (const RoutingPolicy policy : allRoutingPolicies()) {
+            RouterConfig rc = routing.router;
+            rc.policy = policy;
+            rc.hedge.enabled = hedging;
+            configs.push_back(rc);
+        }
+    }
+
+    RoutingEvaluation eval;
+    eval.modelName = model_name;
+    eval.nodePlans = cluster.planSet.plans;
+    eval.policies = routeTrafficComparison(prep.model, cluster,
+                                           configs, trace);
+    return eval;
+}
+
 namespace paper {
 
 const Table3Row kTable3[12] = {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "recshard/base/flags.hh"
+#include "recshard/core/pipeline.hh"
 #include "recshard/engine/execution.hh"
 #include "recshard/serving/serving.hh"
 #include "recshard/sharding/plan.hh"
@@ -114,6 +115,31 @@ struct ServingEvaluation
 ServingEvaluation evaluateServing(const ExperimentConfig &config,
                                   const std::string &model_name,
                                   const ServingConfig &serving);
+
+/** Routing-policy comparison on one model's cluster. */
+struct RoutingEvaluation
+{
+    std::string modelName;
+    /** Per-node plans actually deployed (for inspection). */
+    std::vector<ShardingPlan> nodePlans;
+    /** One report per (policy, hedging) combination. */
+    std::vector<RoutingReport> policies;
+
+    /** Lookup by RoutingReport::name ("round-robin",
+     *  "locality-aware+hedge", ...). */
+    const RoutingReport &byName(const std::string &name) const;
+};
+
+/**
+ * Evaluate all three routing policies, each with and without
+ * hedging, against one multi-node cluster serving identical routed
+ * traffic on one RM ("rm1"/"rm2"/"rm3"). Six reports: the three
+ * policies without hedging first, then the three with. Not
+ * disk-memoized, for the same reason evaluateServing is not.
+ */
+RoutingEvaluation evaluateRouting(const ExperimentConfig &config,
+                                  const std::string &model_name,
+                                  const RoutingPhaseOptions &routing);
 
 /** The paper's headline numbers for side-by-side printing. */
 namespace paper {

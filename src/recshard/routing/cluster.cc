@@ -1,0 +1,35 @@
+#include "recshard/routing/cluster.hh"
+
+#include "recshard/engine/execution.hh"
+
+namespace recshard {
+
+std::vector<const ShardingPlan *>
+RoutingCluster::planPtrs() const
+{
+    std::vector<const ShardingPlan *> ptrs;
+    ptrs.reserve(planSet.plans.size());
+    for (const ShardingPlan &plan : planSet.plans)
+        ptrs.push_back(&plan);
+    return ptrs;
+}
+
+RoutingCluster
+buildRoutingCluster(const ModelSpec &model,
+                    const std::vector<EmbProfile> &profiles,
+                    const SystemSpec &system,
+                    const ClusterPlanOptions &options)
+{
+    RoutingCluster cluster;
+    cluster.system = system;
+    cluster.system.validate();
+    cluster.planSet =
+        solveNodePlans(model, profiles, system, options);
+    cluster.resolvers.reserve(cluster.planSet.plans.size());
+    for (const ShardingPlan &plan : cluster.planSet.plans)
+        cluster.resolvers.push_back(
+            ExecutionEngine::buildResolvers(model, plan, profiles));
+    return cluster;
+}
+
+} // namespace recshard

@@ -1,0 +1,333 @@
+#include "recshard/routing/router.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "recshard/base/logging.hh"
+#include "recshard/base/stats.hh"
+
+namespace recshard {
+
+namespace {
+
+constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+enum class EventKind { Arrival, HedgeFire, Completion };
+
+/** One scheduled event of the virtual-time loop. */
+struct Event
+{
+    double time = 0.0;
+    std::uint64_t seq = 0; //!< insertion order, breaks time ties
+    EventKind kind = EventKind::Arrival;
+    std::uint64_t query = 0;
+    std::uint32_t node = kNoNode;    //!< Completion only
+    double serviceSeconds = 0.0;     //!< Completion only
+};
+
+struct EventLater
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+};
+
+/** Where each copy of a query went, and whether it resolved. */
+struct QueryState
+{
+    std::uint32_t primary = kNoNode;
+    std::uint32_t hedge = kNoNode;
+    bool hedged = false;
+    /** Some copy entered service (started queries never hedge —
+     *  a duplicate could not beat the in-service copy). */
+    bool started = false;
+    bool done = false;
+};
+
+} // namespace
+
+Router::Router(const ModelSpec &model_,
+               const RoutingCluster &cluster_, RouterConfig config)
+    : model(model_), cluster(cluster_), cfg(config)
+{
+    fatal_if(cluster.numNodes() == 0, "router needs >= 1 node");
+    fatal_if(cluster.resolvers.size() != cluster.planSet.plans.size(),
+             "cluster has ", cluster.resolvers.size(),
+             " resolver sets for ", cluster.planSet.plans.size(),
+             " plans");
+    fatal_if(cfg.slaSeconds < 0.0, "latency SLA must be >= 0, got ",
+             cfg.slaSeconds);
+    fatal_if(cfg.hedge.quantile < 0.0 || cfg.hedge.quantile > 1.0,
+             "hedge quantile ", cfg.hedge.quantile,
+             " outside [0,1]");
+    fatal_if(cfg.hedge.windowSize == 0,
+             "hedge latency window cannot be empty");
+}
+
+RoutingReport
+Router::route(const RoutedTrace &trace) const
+{
+    fatal_if(trace.queries.empty(), "no queries to route");
+    const std::uint32_t N = cluster.numNodes();
+    const std::uint64_t Q = trace.queries.size();
+
+    // Fresh per-run node state: queues, caches, virtual clocks.
+    std::vector<ServingNode> nodes;
+    nodes.reserve(N);
+    for (std::uint32_t n = 0; n < N; ++n)
+        nodes.emplace_back(n, model, cluster.planSet.plans[n],
+                           cluster.resolvers[n], cluster.system,
+                           cfg.server);
+
+    const LocalityIndex index(cluster.planPtrs());
+    NodePicker picker(cfg.policy, index, cfg.localityLoadPenalty);
+
+    std::priority_queue<Event, std::vector<Event>, EventLater>
+        events;
+    std::uint64_t seq = 0;
+    for (const RoutedQuery &rq : trace.queries) {
+        Event e;
+        e.time = rq.query.arrival;
+        e.seq = seq++;
+        e.kind = EventKind::Arrival;
+        e.query = rq.query.id;
+        events.push(e);
+    }
+
+    std::vector<QueryState> state(Q);
+    std::vector<double> latencies;
+    latencies.reserve(Q);
+    std::vector<double> node_service(N, 0.0);
+
+    const double first_arrival =
+        trace.queries.front().query.arrival;
+    double last_finish = first_arrival;
+    std::uint64_t hedged = 0, hedge_wins = 0, canceled = 0;
+    std::uint64_t completed = 0;
+    double wasted = 0.0;
+    std::uint64_t hbm = 0, uvm = 0, cache_hits = 0;
+
+    // The hedge delay chases the observed latency quantile over a
+    // sliding window; refreshed periodically, not per completion,
+    // to keep the quantile sort off the per-event path.
+    std::vector<double> window;
+    window.reserve(std::min<std::uint64_t>(Q,
+                                           cfg.hedge.windowSize));
+    double hedge_delay = 0.0;
+    std::uint64_t since_refresh = 0;
+    const std::uint64_t arm_after =
+        std::max<std::uint64_t>(cfg.hedge.minSamples, 1);
+    auto refreshHedgeDelay = [&] {
+        hedge_delay = std::max(cfg.hedge.minDelaySeconds,
+                               percentile(window,
+                                          cfg.hedge.quantile));
+        since_refresh = 0;
+    };
+
+    // Start a node's head-of-line query if the fleet is idle.
+    auto tryDispatch = [&](std::uint32_t n, double now) {
+        if (nodes[n].busy() || !nodes[n].hasPending())
+            return;
+        const std::uint64_t qid = nodes[n].frontPending();
+        const RoutedQuery &rq = trace.queries[qid];
+        const NodeDispatch d = nodes[n].dispatchNext(
+            now, rq.asBatch(now), rq.lookups);
+        node_service[n] += d.serviceSeconds;
+        hbm += d.hbmAccesses;
+        uvm += d.uvmAccesses;
+        cache_hits += d.cacheHits;
+
+        QueryState &st = state[qid];
+        st.started = true;
+        if (st.hedged && cfg.hedge.tiedRequests) {
+            // Tied requests: this copy entered service, so recall
+            // the sibling if it is still waiting in a queue.
+            const std::uint32_t other =
+                n == st.primary ? st.hedge : st.primary;
+            if (other != kNoNode &&
+                nodes[other].cancelPending(qid))
+                ++canceled;
+        }
+
+        Event e;
+        e.time = d.finishTime;
+        e.seq = seq++;
+        e.kind = EventKind::Completion;
+        e.query = qid;
+        e.node = n;
+        e.serviceSeconds = d.serviceSeconds;
+        events.push(e);
+    };
+
+    while (!events.empty()) {
+        const Event e = events.top();
+        events.pop();
+        switch (e.kind) {
+          case EventKind::Arrival: {
+              const RoutedQuery &rq = trace.queries[e.query];
+              const std::uint32_t n = picker.pick(rq, nodes);
+              state[e.query].primary = n;
+              nodes[n].enqueue(e.query);
+              tryDispatch(n, e.time);
+              // Arm a hedge timer only once the delay estimate
+              // exists; a single-node cluster never hedges (both
+              // copies on one node would be forbidden anyway).
+              if (cfg.hedge.enabled && N >= 2 &&
+                  completed >= arm_after) {
+                  Event h;
+                  h.time = e.time + hedge_delay;
+                  h.seq = seq++;
+                  h.kind = EventKind::HedgeFire;
+                  h.query = e.query;
+                  events.push(h);
+              }
+              break;
+          }
+
+          case EventKind::HedgeFire: {
+              QueryState &st = state[e.query];
+              // Hedge only a query still waiting in a queue: a
+              // duplicate of an in-service query cannot beat it.
+              if (st.done || st.hedged || st.started)
+                  break;
+              // pickHedge excludes the primary: duplicating onto
+              // the node that already holds the query is forbidden.
+              const std::uint32_t h = picker.pickHedge(
+                  trace.queries[e.query], nodes, st.primary);
+              panic_if(h == st.primary,
+                       "hedge landed on the primary node");
+              st.hedge = h;
+              st.hedged = true;
+              ++hedged;
+              nodes[h].enqueue(e.query);
+              tryDispatch(h, e.time);
+              break;
+          }
+
+          case EventKind::Completion: {
+              nodes[e.node].completeRunning();
+              QueryState &st = state[e.query];
+              if (st.done) {
+                  // The losing copy of a hedged query: its service
+                  // time was pure overhead.
+                  wasted += e.serviceSeconds;
+              } else {
+                  st.done = true;
+                  ++completed;
+                  const double latency = e.time -
+                      trace.queries[e.query].query.arrival;
+                  latencies.push_back(latency);
+                  last_finish = std::max(last_finish, e.time);
+
+                  if (window.size() < cfg.hedge.windowSize)
+                      window.push_back(latency);
+                  else
+                      window[completed % cfg.hedge.windowSize] =
+                          latency;
+                  if (++since_refresh >= 8 ||
+                      completed == arm_after)
+                      refreshHedgeDelay();
+
+                  if (st.hedged) {
+                      if (e.node == st.hedge)
+                          ++hedge_wins;
+                      const std::uint32_t other =
+                          e.node == st.primary ? st.hedge
+                                               : st.primary;
+                      // Still queued on the other node: recall it
+                      // at zero cost. If it already started, its
+                      // own Completion lands in the branch above.
+                      if (nodes[other].cancelPending(e.query))
+                          ++canceled;
+                  }
+              }
+              tryDispatch(e.node, e.time);
+              break;
+          }
+        }
+    }
+
+    for (const ServingNode &node : nodes)
+        panic_if(node.outstanding() != 0, "node ", node.id(),
+                 " finished with ", node.outstanding(),
+                 " queries stranded");
+    panic_if(latencies.size() != Q, "served ", latencies.size(),
+             " of ", Q, " queries");
+
+    RoutingReport r;
+    r.policy = routingPolicyName(cfg.policy);
+    r.hedging = cfg.hedge.enabled;
+    r.name = r.policy + (r.hedging ? "+hedge" : "");
+    r.queries = Q;
+    r.slaSeconds = cfg.slaSeconds;
+
+    RunningStat lat;
+    std::uint64_t violations = 0;
+    for (const double l : latencies) {
+        lat.push(l);
+        violations += l > cfg.slaSeconds;
+    }
+    r.meanLatency = lat.mean();
+    r.maxLatency = lat.max();
+    std::sort(latencies.begin(), latencies.end());
+    r.p50Latency = sortedPercentile(latencies, 0.50);
+    r.p95Latency = sortedPercentile(latencies, 0.95);
+    r.p99Latency = sortedPercentile(latencies, 0.99);
+    r.slaViolationRate = static_cast<double>(violations) /
+        static_cast<double>(Q);
+
+    r.hedgedQueries = hedged;
+    r.hedgeRate = static_cast<double>(hedged) /
+        static_cast<double>(Q);
+    r.hedgeWins = hedge_wins;
+    r.canceledCopies = canceled;
+    r.wastedSeconds = wasted;
+
+    r.hbmAccesses = hbm;
+    r.uvmAccesses = uvm;
+    r.cacheHits = cache_hits;
+    const std::uint64_t accesses = hbm + uvm + cache_hits;
+    r.uvmAccessFraction = accesses
+        ? static_cast<double>(uvm) / static_cast<double>(accesses)
+        : 0.0;
+    r.cacheHitRate = cache_hits + uvm
+        ? static_cast<double>(cache_hits) /
+            static_cast<double>(cache_hits + uvm)
+        : 0.0;
+
+    double total_service = 0.0;
+    r.nodeQueries.reserve(N);
+    r.nodeBusySeconds = node_service;
+    for (std::uint32_t n = 0; n < N; ++n) {
+        r.nodeQueries.push_back(nodes[n].dispatched());
+        total_service += node_service[n];
+    }
+    r.wastedWorkFraction =
+        total_service > 0.0 ? wasted / total_service : 0.0;
+    r.durationSeconds = last_finish - first_arrival;
+    if (r.durationSeconds > 0.0) {
+        r.qps = static_cast<double>(Q) / r.durationSeconds;
+        r.clusterUtilization = total_service /
+            (static_cast<double>(N) * r.durationSeconds);
+    }
+    return r;
+}
+
+std::vector<RoutingReport>
+routeTrafficComparison(const ModelSpec &model,
+                       const RoutingCluster &cluster,
+                       const std::vector<RouterConfig> &configs,
+                       const RoutedTrace &trace)
+{
+    fatal_if(configs.empty(), "no router configs to compare");
+    std::vector<RoutingReport> reports;
+    reports.reserve(configs.size());
+    for (const RouterConfig &config : configs)
+        reports.push_back(
+            Router(model, cluster, config).route(trace));
+    return reports;
+}
+
+} // namespace recshard

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The front-end routing tier: policy routing plus request hedging.
+ *
+ * The Router is a single-threaded virtual-time discrete-event
+ * simulation over a materialized query trace. Three event kinds
+ * drive it: query Arrival (pick a node under the configured
+ * policy and admit), HedgeFire (the tail-at-scale mitigation — if
+ * the query is still incomplete a configurable delay after arrival,
+ * duplicate it to the best *other* node), and Completion (the first
+ * finishing copy defines the query's latency; the losing copy is
+ * canceled if still queued, or charged as wasted work if it already
+ * started). The hedge delay tracks the live latency distribution:
+ * it is a quantile (default p95) of a sliding window of observed
+ * query latencies, so hedges target exactly the tail.
+ *
+ * Determinism contract: events are ordered by (virtual time,
+ * insertion sequence), nodes execute on the caller's thread, and
+ * the trace is pre-materialized — a fixed (cluster, trace, config)
+ * triple always produces bit-identical reports. See
+ * docs/ARCHITECTURE.md, "Virtual-time determinism".
+ */
+
+#ifndef RECSHARD_ROUTING_ROUTER_HH
+#define RECSHARD_ROUTING_ROUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recshard/routing/cluster.hh"
+#include "recshard/routing/policy.hh"
+#include "recshard/routing/trace.hh"
+#include "recshard/serving/node.hh"
+
+namespace recshard {
+
+/** Request-hedging controls. */
+struct HedgeConfig
+{
+    bool enabled = false;
+    /** Hedge a query once it has waited past this quantile of
+     *  observed latencies. */
+    double quantile = 0.95;
+    /** Completed queries observed before hedging arms (the delay
+     *  estimate needs a latency distribution to quantile). */
+    std::uint64_t minSamples = 64;
+    /** Floor on the hedge delay (guards a degenerate quantile). */
+    double minDelaySeconds = 0.0;
+    /** Latency-window capacity the quantile is computed over. */
+    std::uint64_t windowSize = 512;
+    /**
+     * Tied requests (Dean & Barroso, "The Tail at Scale"): the
+     * moment either copy of a hedged query starts executing, the
+     * sibling still sitting in the other node's queue is canceled,
+     * so at most one copy is ever served and hedging's wasted work
+     * drops to zero. When false, both copies race to completion
+     * and the loser is only canceled if it never started.
+     */
+    bool tiedRequests = true;
+};
+
+/** One Router evaluation's controls. */
+struct RouterConfig
+{
+    RoutingPolicy policy = RoutingPolicy::RoundRobin;
+    HedgeConfig hedge;
+    /** Per-node server knobs (cache rows, batch overhead). */
+    ShardServerConfig server;
+    /** Latency SLA violations are scored against. */
+    double slaSeconds = 0.005;
+    /** LocalityAware: score deducted per outstanding query (the
+     *  graceful degradation toward least-outstanding under
+     *  contention; pure locality piles popular slices onto one
+     *  node). */
+    double localityLoadPenalty = 0.1;
+};
+
+/** One (policy, hedging) combination's measurements. */
+struct RoutingReport
+{
+    /** "round-robin", "locality-aware+hedge", ... */
+    std::string name;
+    std::string policy;
+    bool hedging = false;
+
+    std::uint64_t queries = 0;
+    /** First arrival to last first-copy completion, seconds. */
+    double durationSeconds = 0.0;
+    double qps = 0.0;
+
+    double meanLatency = 0.0;
+    double p50Latency = 0.0;
+    double p95Latency = 0.0;
+    double p99Latency = 0.0;
+    double maxLatency = 0.0;
+
+    double slaSeconds = 0.0;
+    double slaViolationRate = 0.0;
+
+    /** Queries actually duplicated (never the non-duplicated
+     *  majority; hedgeRate = hedgedQueries / queries). */
+    std::uint64_t hedgedQueries = 0;
+    double hedgeRate = 0.0;
+    /** Hedged queries whose *secondary* copy finished first. */
+    std::uint64_t hedgeWins = 0;
+    /** Losing copies removed from a queue before starting. */
+    std::uint64_t canceledCopies = 0;
+    /** Service seconds spent on copies that lost the race. */
+    double wastedSeconds = 0.0;
+    /** wastedSeconds over all service seconds. */
+    double wastedWorkFraction = 0.0;
+
+    /** Tier traffic summed over all executed copies. */
+    std::uint64_t hbmAccesses = 0;
+    std::uint64_t uvmAccesses = 0;
+    std::uint64_t cacheHits = 0;
+    double uvmAccessFraction = 0.0;
+    double cacheHitRate = 0.0;
+
+    /** Queries dispatched per node (hedges included). */
+    std::vector<std::uint64_t> nodeQueries;
+    std::vector<double> nodeBusySeconds;
+    /** Node occupancy: summed per-query service seconds over
+     *  node-seconds of the window (a node serves one query at a
+     *  time, so 1.0 means every node always busy). */
+    double clusterUtilization = 0.0;
+};
+
+/** Front-end router over an immutable cluster. */
+class Router
+{
+  public:
+    /**
+     * @param model   Model the cluster serves.
+     * @param cluster Per-node plans + resolvers (borrowed; must
+     *                outlive the Router).
+     * @param config  Policy, hedging, and per-node server knobs.
+     */
+    Router(const ModelSpec &model, const RoutingCluster &cluster,
+           RouterConfig config);
+
+    /**
+     * Serve a materialized trace to completion and report. Node
+     * state (queues, caches, clocks) is rebuilt per call, so
+     * repeated or interleaved evaluations of the same trace are
+     * independent and identical.
+     */
+    RoutingReport route(const RoutedTrace &trace) const;
+
+    const RouterConfig &config() const { return cfg; }
+
+  private:
+    const ModelSpec &model;
+    const RoutingCluster &cluster;
+    RouterConfig cfg;
+};
+
+/**
+ * Evaluate several (policy, hedging) combinations against the same
+ * cluster and the same trace; reports come back in input order.
+ */
+std::vector<RoutingReport>
+routeTrafficComparison(const ModelSpec &model,
+                       const RoutingCluster &cluster,
+                       const std::vector<RouterConfig> &configs,
+                       const RoutedTrace &trace);
+
+} // namespace recshard
+
+#endif // RECSHARD_ROUTING_ROUTER_HH

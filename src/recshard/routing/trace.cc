@@ -1,0 +1,33 @@
+#include "recshard/routing/trace.hh"
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+RoutedTrace
+materializeRoutedTrace(const SyntheticDataset &data,
+                       const LoadConfig &load,
+                       std::uint64_t num_queries)
+{
+    fatal_if(num_queries == 0, "need at least one query to route");
+    LoadGenerator generator(load);
+    const std::uint32_t J = data.spec().numFeatures();
+
+    RoutedTrace trace;
+    trace.queries.resize(num_queries);
+    for (std::uint64_t i = 0; i < num_queries; ++i) {
+        RoutedQuery &rq = trace.queries[i];
+        rq.query = generator.next();
+        rq.query.id = i; // dense ids in arrival order
+        rq.lookups.resize(J);
+        for (std::uint32_t j = 0; j < J; ++j) {
+            FeatureBatch fb = data.featureBatch(
+                j, rq.query.samples, rq.query.batchIndex);
+            rq.totalLookups += fb.indices.size();
+            rq.lookups[j] = std::move(fb.indices);
+        }
+    }
+    return trace;
+}
+
+} // namespace recshard

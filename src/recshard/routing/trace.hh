@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Materialized per-query traffic trace for the routing tier.
+ *
+ * The single-node serving path batches queries *before* execution,
+ * so its trace is batch-granular; the router makes a placement
+ * decision per query, so its trace is query-granular: every query
+ * carries its own per-feature embedding lookups, materialized once
+ * from the seeded dataset. All routing policies (and both hedging
+ * settings) are evaluated against the *same* RoutedTrace object, so
+ * measured differences are attributable to the routing decision
+ * alone — the routing-tier analogue of serveTrafficComparison()'s
+ * shared-trace discipline.
+ */
+
+#ifndef RECSHARD_ROUTING_TRACE_HH
+#define RECSHARD_ROUTING_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/datagen/dataset.hh"
+#include "recshard/serving/load_generator.hh"
+#include "recshard/serving/scheduler.hh"
+
+namespace recshard {
+
+/** One query plus everything needed to execute it on any node. */
+struct RoutedQuery
+{
+    Query query;
+    /** lookups[j]: row ids feature j reads for this query. */
+    std::vector<std::vector<std::uint64_t>> lookups;
+    /** Total row reads across features (locality denominator). */
+    std::uint64_t totalLookups = 0;
+
+    /** The query wrapped as a singleton micro-batch dispatched at
+     *  virtual time `ready` (used by ServingNode::dispatchNext). */
+    MicroBatch asBatch(double ready) const
+    {
+        MicroBatch b;
+        b.id = query.id;
+        b.closeTime = ready;
+        b.queries = {query};
+        return b;
+    }
+};
+
+/** A shared, immutable arrival stream with materialized lookups. */
+struct RoutedTrace
+{
+    std::vector<RoutedQuery> queries; //!< by query id, in arrival
+                                      //!< order
+};
+
+/**
+ * Generate `num_queries` arrivals under `load` and materialize each
+ * query's embedding lookups from the dataset. Query ids are dense
+ * [0, num_queries) in arrival order.
+ */
+RoutedTrace materializeRoutedTrace(const SyntheticDataset &data,
+                                   const LoadConfig &load,
+                                   std::uint64_t num_queries);
+
+} // namespace recshard
+
+#endif // RECSHARD_ROUTING_TRACE_HH

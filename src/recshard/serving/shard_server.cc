@@ -79,6 +79,32 @@ ShardServerPool::ShardServerPool(
         fleet.emplace_back(m, model, plan, resolvers, cost, config);
 }
 
+BatchCompletion
+ShardServerPool::executeOne(
+    const MicroBatch &batch,
+    const std::vector<std::vector<std::uint64_t>> &lookups)
+{
+    BatchCompletion c;
+    c.batchId = batch.id;
+    for (ShardServer &server : fleet) {
+        const BatchExecution e = server.execute(batch, lookups);
+        c.finishTime = std::max(c.finishTime, e.finishTime);
+        c.hbmAccesses += e.hbmAccesses;
+        c.uvmAccesses += e.uvmAccesses;
+        c.cacheHits += e.cacheHits;
+    }
+    return c;
+}
+
+double
+ShardServerPool::busySeconds() const
+{
+    double busy = 0.0;
+    for (const ShardServer &server : fleet)
+        busy += server.busySeconds();
+    return busy;
+}
+
 std::vector<BatchCompletion>
 ShardServerPool::run(const ServingTrace &trace)
 {

@@ -151,6 +151,28 @@ class ShardServerPool
      */
     std::vector<BatchCompletion> run(const ServingTrace &trace);
 
+    /**
+     * Execute a single micro-batch across every GPU of the fleet,
+     * synchronously, on the caller's thread. This is the routing
+     * tier's entry point: the multi-node Router is a single-threaded
+     * virtual-time event loop that feeds each node one query at a
+     * time, so it needs per-batch execution without the trace-wide
+     * thread fan-out of run(). Virtual-clock accounting is identical
+     * to run()'s: each server starts at max(batch ready time, its
+     * own free time).
+     *
+     * @param batch   Sealed batch (timing metadata).
+     * @param lookups Per-feature row ids the batch reads.
+     * @return The all-GPU completion (slowest shard's finish).
+     */
+    BatchCompletion
+    executeOne(const MicroBatch &batch,
+               const std::vector<std::vector<std::uint64_t>>
+                   &lookups);
+
+    /** Summed busy (service) seconds across the fleet. */
+    double busySeconds() const;
+
     const std::vector<ShardServer> &servers() const
     {
         return fleet;

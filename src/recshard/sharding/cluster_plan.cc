@@ -1,0 +1,125 @@
+#include "recshard/sharding/cluster_plan.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+namespace {
+
+/** LPT partition of tables into `n` slices by expected traffic. */
+std::vector<std::vector<std::uint32_t>>
+partitionByTraffic(const ModelSpec &model,
+                   const std::vector<EmbProfile> &profiles,
+                   std::uint32_t n)
+{
+    const std::uint32_t J = model.numFeatures();
+    std::vector<std::uint32_t> order(J);
+    std::iota(order.begin(), order.end(), 0u);
+    std::vector<double> weight(J);
+    for (std::uint32_t j = 0; j < J; ++j)
+        weight[j] = profiles[j].expectedAccessesPerSample() *
+            static_cast<double>(model.features[j].rowBytes());
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return weight[a] != weight[b]
+                      ? weight[a] > weight[b] : a < b;
+              });
+
+    std::vector<std::vector<std::uint32_t>> slices(n);
+    std::vector<double> load(n, 0.0);
+    for (const std::uint32_t j : order) {
+        const auto lightest = static_cast<std::size_t>(
+            std::min_element(load.begin(), load.end()) -
+            load.begin());
+        slices[lightest].push_back(j);
+        load[lightest] += weight[j];
+    }
+    for (auto &slice : slices)
+        std::sort(slice.begin(), slice.end());
+    return slices;
+}
+
+} // namespace
+
+ClusterPlanSet
+solveNodePlans(const ModelSpec &model,
+               const std::vector<EmbProfile> &profiles,
+               const SystemSpec &system,
+               const ClusterPlanOptions &options)
+{
+    const std::uint32_t J = model.numFeatures();
+    const std::uint32_t N = options.numNodes;
+    fatal_if(N == 0, "cluster needs at least one node");
+    fatal_if(profiles.size() != J, "profiles (", profiles.size(),
+             ") != model tables (", J, ")");
+    fatal_if(N > J, "cannot slice ", J, " tables across ", N,
+             " nodes");
+
+    ClusterPlanSet out;
+    out.slices = partitionByTraffic(model, profiles, N);
+    out.plans.reserve(N);
+
+    for (std::uint32_t n = 0; n < N; ++n) {
+        const std::vector<std::uint32_t> &slice = out.slices[n];
+
+        // Solve the slice as its own model under the full per-node
+        // budget: node n spends all of its HBM on its slice's ICDFs.
+        ModelSpec sub;
+        sub.name = model.name + "/node" + std::to_string(n);
+        std::vector<EmbProfile> sub_profiles;
+        sub.features.reserve(slice.size());
+        sub_profiles.reserve(slice.size());
+        for (const std::uint32_t j : slice) {
+            sub.features.push_back(model.features[j]);
+            sub_profiles.push_back(profiles[j]);
+        }
+        const ShardingPlan sub_plan =
+            recShardPlan(sub, sub_profiles, system, options.solver);
+
+        // Lift back to the full model. Slice tables keep their
+        // solved placement; every other table lives wholly in UVM,
+        // packed onto the least-loaded GPU so no single GPU's UVM
+        // budget or bandwidth is a hotspot.
+        ShardingPlan plan;
+        plan.strategy = "RecShard/node" + std::to_string(n);
+        plan.tables.resize(J);
+        std::vector<std::uint64_t> uvm_load(system.numGpus, 0);
+        for (std::size_t i = 0; i < slice.size(); ++i) {
+            plan.tables[slice[i]] = sub_plan.tables[i];
+            const auto &f = model.features[slice[i]];
+            uvm_load[sub_plan.tables[i].gpu] +=
+                (f.hashSize - sub_plan.tables[i].hbmRows) *
+                f.rowBytes();
+        }
+
+        std::vector<std::uint32_t> rest;
+        for (std::uint32_t j = 0; j < J; ++j)
+            if (!std::binary_search(slice.begin(), slice.end(), j))
+                rest.push_back(j);
+        std::sort(rest.begin(), rest.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      const auto ba = model.features[a].tableBytes();
+                      const auto bb = model.features[b].tableBytes();
+                      return ba != bb ? ba > bb : a < b;
+                  });
+        for (const std::uint32_t j : rest) {
+            const auto gpu = static_cast<std::uint32_t>(
+                std::min_element(uvm_load.begin(), uvm_load.end()) -
+                uvm_load.begin());
+            plan.tables[j].gpu = gpu;
+            plan.tables[j].hbmRows = 0;
+            plan.tables[j].hbmAccessFraction = 0.0;
+            uvm_load[gpu] += model.features[j].tableBytes();
+        }
+
+        plan.validate(model, system);
+        out.plans.push_back(std::move(plan));
+    }
+    return out;
+}
+
+} // namespace recshard

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-node sharding plans for a multi-node serving cluster.
+ *
+ * A routing tier fronts N replica nodes that each serve the whole
+ * model, but no node's HBM can pin every table's hot rows. Instead
+ * of giving every node the same (thinly spread) plan, the profiled
+ * tables are partitioned into N slices balanced by expected traffic,
+ * and node k's HBM budget is solved — with the full RecShard solver
+ * — over slice k alone. Tables outside a node's slice stay wholly
+ * in that node's UVM tier. The resulting plans are deliberately
+ * *heterogeneous*: each table's hot rows are HBM-resident on exactly
+ * one node, which is what gives locality-aware routing something to
+ * exploit (route a query toward the node that pins the tables
+ * dominating its lookups) and gives hedging a second replica with a
+ * genuinely different cost profile.
+ */
+
+#ifndef RECSHARD_SHARDING_CLUSTER_PLAN_HH
+#define RECSHARD_SHARDING_CLUSTER_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/sharding/recshard_solver.hh"
+
+namespace recshard {
+
+/** Controls for per-node plan solving. */
+struct ClusterPlanOptions
+{
+    /** Serving nodes (replicas) in the cluster. */
+    std::uint32_t numNodes = 2;
+    /** Solver controls applied to each node's slice. */
+    RecShardOptions solver;
+};
+
+/** The cluster's sharding decision: one full-model plan per node. */
+struct ClusterPlanSet
+{
+    /** slices[n]: table indices whose hot rows node n pins. */
+    std::vector<std::vector<std::uint32_t>> slices;
+    /** plans[n]: node n's full-model plan (validated). */
+    std::vector<ShardingPlan> plans;
+};
+
+/**
+ * Partition the model's tables into traffic-balanced slices and
+ * solve one plan per node.
+ *
+ * Slice assignment is longest-processing-time over each table's
+ * expected byte traffic (accesses/sample x row bytes). Node n's
+ * slice is solved as a sub-model through recShardPlan under the
+ * full per-node system budget; every non-slice table is placed
+ * wholly in UVM on node n's least-loaded GPU. Each lifted plan is
+ * validated against `system` before return.
+ *
+ * @param model    Model every node serves.
+ * @param profiles Per-EMB training-data profiles (shared).
+ * @param system   Per-node system spec (GPU count, budgets).
+ * @param options  Node count and solver controls.
+ */
+ClusterPlanSet solveNodePlans(const ModelSpec &model,
+                              const std::vector<EmbProfile> &profiles,
+                              const SystemSpec &system,
+                              const ClusterPlanOptions &options = {});
+
+} // namespace recshard
+
+#endif // RECSHARD_SHARDING_CLUSTER_PLAN_HH
