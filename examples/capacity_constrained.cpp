@@ -2,8 +2,10 @@
  * @file
  * Capacity-constrained sharding: a scaled-down RM2 (the paper's
  * motivating scenario — the model no longer fits in aggregate HBM)
- * sharded by all three production baselines and RecShard, with the
- * resulting plans replayed on identical traffic.
+ * sharded by every scalable strategy in the planner registry (the
+ * three production baselines and RecShard, plus anything you
+ * register), with the resulting plans replayed on identical
+ * traffic.
  *
  * This is the paper's Fig. 11 / Table 5 story at example scale.
  *
@@ -16,9 +18,8 @@
 #include "recshard/base/units.hh"
 #include "recshard/datagen/model_zoo.hh"
 #include "recshard/engine/execution.hh"
+#include "recshard/planner/registry.hh"
 #include "recshard/profiler/profiler.hh"
-#include "recshard/sharding/baselines.hh"
-#include "recshard/sharding/recshard_solver.hh"
 
 using namespace recshard;
 
@@ -38,14 +39,18 @@ main()
 
     const auto profiles = profileDataset(data, 30000, 4096);
 
+    // One request, every registered strategy that scales to this
+    // instance ("milp" opts out via Planner::scalable()).
+    const PlanRequest request =
+        PlanRequest::make(model, profiles, system, 2048);
+
     std::vector<ShardingPlan> plans;
-    for (const auto kind : {BaselineCost::Size, BaselineCost::Lookup,
-                            BaselineCost::SizeLookup}) {
-        plans.push_back(greedyShard(kind, model, profiles, system));
+    for (const auto &name : PlannerRegistry::names()) {
+        const auto planner = PlannerRegistry::create(name);
+        if (!planner->scalable())
+            continue;
+        plans.push_back(planner->plan(request).plan);
     }
-    RecShardOptions rs;
-    rs.batchSize = 2048;
-    plans.push_back(recShardPlan(model, profiles, system, rs));
 
     ExecutionEngine engine(data, system, EmbCostModel(system));
     std::vector<const ShardingPlan *> ptrs;

@@ -6,6 +6,7 @@
  *   1. describe a model (a set of sparse features / EMBs),
  *   2. profile sampled training data,
  *   3. solve partitioning + placement for a 2-GPU tiered system,
+ *      selecting the strategy by name from the planner registry,
  *   4. inspect the plan and compare it against a production-style
  *      greedy baseline by replaying real traffic.
  *
@@ -18,7 +19,7 @@
 #include "recshard/base/units.hh"
 #include "recshard/core/pipeline.hh"
 #include "recshard/datagen/model_zoo.hh"
-#include "recshard/sharding/baselines.hh"
+#include "recshard/planner/registry.hh"
 
 using namespace recshard;
 
@@ -43,8 +44,17 @@ main()
               << formatBytes(system.hbm.capacityBytes) << "\n\n";
 
     // 3. Run the RecShard pipeline: profile -> solve -> remap.
+    //    Strategies are picked by name from the planner registry;
+    //    swap the string for "milp", "greedy-size", ... to try
+    //    another (see PlannerRegistry::names()).
+    std::cout << "Registered planners:";
+    for (const auto &name : PlannerRegistry::names())
+        std::cout << " " << name;
+    std::cout << "\n\n";
+
     PipelineOptions options;
     options.profileSamples = 30000;
+    options.plannerName = "recshard";
     const PipelineResult result =
         RecShardPipeline(data, system, options).run();
 
@@ -60,15 +70,20 @@ main()
                               "%"});
     }
     plan_view.print(std::cout, "RecShard plan");
-    std::cout << "\nSolve time: "
-              << formatSeconds(result.solveSeconds)
-              << "; remap tables: "
+    std::cout << "\nPlanner '" << result.planDiag.planner
+              << "' solved in "
+              << formatSeconds(result.planDiag.solveSeconds) << " ("
+              << result.planDiag.notes << "); remap tables: "
               << formatBytes(result.remapStorageBytes) << "\n\n";
 
-    // 4. Compare against the greedy Size-based baseline by
-    //    replaying identical generated traffic.
-    const ShardingPlan baseline = greedyShard(
-        BaselineCost::Size, model, result.profiles, system);
+    // 4. Compare against the greedy Size-based baseline — also
+    //    selected by name — by replaying identical traffic.
+    const PlanRequest baseline_request =
+        PlanRequest::make(model, result.profiles, system, 2048);
+    const ShardingPlan baseline =
+        PlannerRegistry::create("greedy-size")
+            ->plan(baseline_request)
+            .plan;
     ExecutionEngine engine(data, system, EmbCostModel(system));
     ReplayConfig replay;
     replay.batchSize = 2048;

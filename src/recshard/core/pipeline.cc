@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "recshard/base/logging.hh"
+#include "recshard/planner/registry.hh"
 
 namespace recshard {
 
@@ -40,20 +41,26 @@ RecShardPipeline::run() const
                                      opts.profileBatchSize);
     result.profileSeconds = secondsSince(t0);
 
-    // Phase 2: partitioning and placement (Section 4.2).
+    // Phase 2: partitioning and placement (Section 4.2) through
+    // the registry-selected planner. The authoritative batch size
+    // follows the selected path so the deprecated useExactMilp shim
+    // keeps honoring a caller's milp.batchSize.
     t0 = Clock::now();
-    if (opts.useExactMilp) {
-        const MilpShardResult exact = milpShardPlan(
-            data.spec(), result.profiles, sys, opts.milp);
-        fatal_if(!exact.feasible,
-                 "exact MILP found no feasible sharding (status ",
-                 lpStatusName(exact.milp.status), ")");
-        result.plan = exact.plan;
-        result.milpStats = exact.milp;
-    } else {
-        result.plan = recShardPlan(data.spec(), result.profiles, sys,
-                                   opts.solver, &result.solverStats);
-    }
+    const std::string planner_name = opts.effectivePlannerName();
+    PlanRequest req = PlanRequest::make(
+        data.spec(), result.profiles, sys,
+        planner_name == "milp" ? opts.milp.batchSize
+                               : opts.solver.batchSize);
+    req.solver = opts.solver;
+    req.milp = opts.milp;
+    PlanResult solved =
+        PlannerRegistry::create(planner_name)->plan(req);
+    fatal_if(!solved.diag.feasible,
+             "planner '", solved.diag.planner,
+             "' found no feasible sharding (", solved.diag.notes,
+             ")");
+    result.plan = std::move(solved.plan);
+    result.planDiag = std::move(solved.diag);
     result.solveSeconds = secondsSince(t0);
 
     // Phase 3: remapping artifacts (Section 4.3).
@@ -82,7 +89,10 @@ RecShardPipeline::run() const
         t0 = Clock::now();
         ClusterPlanOptions cp;
         cp.numNodes = opts.routing.numNodes;
+        cp.nodeSpecs = opts.routing.nodeSpecs;
+        cp.plannerName = opts.routing.plannerName;
         cp.solver = opts.solver;
+        cp.milp = opts.milp;
         const RoutingCluster cluster = buildRoutingCluster(
             data.spec(), result.profiles, sys, cp);
         const RoutedTrace trace = materializeRoutedTrace(
@@ -101,32 +111,33 @@ planCostUnderProfiles(const ModelSpec &model, const ShardingPlan &plan,
                       const SystemSpec &system, std::uint32_t batch,
                       const std::vector<TierResolver> *resolvers)
 {
-    fatal_if(plan.tables.size() != model.features.size(),
-             "plan/model mismatch");
     fatal_if(profiles.size() != model.features.size(),
              "profiles/model mismatch");
+    if (!resolvers) {
+        // Plan-declared HBM fractions: exactly the planner API's
+        // uniform estimator.
+        return estimatePlanBottleneck(model, profiles, system, plan,
+                                      batch);
+    }
+    fatal_if(plan.tables.size() != model.features.size(),
+             "plan/model mismatch");
     const EmbCostModel cost(system);
 
     std::vector<double> gpu_cost(system.numGpus, 0.0);
     for (std::size_t j = 0; j < plan.tables.size(); ++j) {
         const auto &f = model.features[j];
         const auto &p = profiles[j];
-        double pct;
-        if (resolvers) {
-            // Honest fraction: how many of the profile's accesses
-            // land on rows the plan actually pinned in HBM.
-            const auto &ranked = p.cdf.rankedRows();
-            std::uint64_t hot_accesses = 0;
-            for (std::uint64_t r = 0; r < ranked.size(); ++r)
-                if ((*resolvers)[j].inHbm(ranked[r]))
-                    hot_accesses += p.cdf.countAtRank(r);
-            pct = p.cdf.totalAccesses()
-                ? static_cast<double>(hot_accesses) /
-                      static_cast<double>(p.cdf.totalAccesses())
-                : 1.0;
-        } else {
-            pct = p.cdf.accessFraction(plan.tables[j].hbmRows);
-        }
+        // Honest fraction: how many of the profile's accesses
+        // land on rows the plan actually pinned in HBM.
+        const auto &ranked = p.cdf.rankedRows();
+        std::uint64_t hot_accesses = 0;
+        for (std::uint64_t r = 0; r < ranked.size(); ++r)
+            if ((*resolvers)[j].inHbm(ranked[r]))
+                hot_accesses += p.cdf.countAtRank(r);
+        const double pct = p.cdf.totalAccesses()
+            ? static_cast<double>(hot_accesses) /
+                  static_cast<double>(p.cdf.totalAccesses())
+            : 1.0;
         gpu_cost[plan.tables[j].gpu] += p.coverage *
             cost.estimatedEmbCost(f, p.avgPool, pct, batch);
     }
@@ -141,14 +152,23 @@ assessReshard(const ModelSpec &model,
               const std::vector<EmbProfile> &fresh_profiles,
               const SystemSpec &system, const ShardingPlan &incumbent,
               const std::vector<TierResolver> &incumbent_resolvers,
-              const RecShardOptions &solver_options)
+              const RecShardOptions &solver_options,
+              const std::string &planner_name)
 {
     ReshardAssessment out;
     out.incumbentCost = planCostUnderProfiles(
         model, incumbent, fresh_profiles, system,
         solver_options.batchSize, &incumbent_resolvers);
-    out.freshPlan = recShardPlan(model, fresh_profiles, system,
-                                 solver_options);
+    PlanRequest req = PlanRequest::make(model, fresh_profiles,
+                                        system,
+                                        solver_options.batchSize);
+    req.solver = solver_options;
+    PlanResult fresh = PlannerRegistry::create(planner_name)
+                           ->plan(req);
+    fatal_if(!fresh.diag.feasible,
+             "planner '", planner_name,
+             "' found no feasible fresh plan");
+    out.freshPlan = std::move(fresh.plan);
     out.freshCost = planCostUnderProfiles(
         model, out.freshPlan, fresh_profiles, system,
         solver_options.batchSize);

@@ -3,8 +3,9 @@
  * The end-to-end RecShard pipeline (paper Fig. 10).
  *
  * Phase 1: profile a sample of the training data (Section 4.1).
- * Phase 2: solve partitioning + placement (Section 4.2) — scalable
- *          solver by default, the exact MILP on request.
+ * Phase 2: solve partitioning + placement (Section 4.2) through a
+ *          registry-selected Planner (planner/registry.hh) —
+ *          "recshard" by default, any registered strategy by name.
  * Phase 3: build the remapping artifacts (Section 4.3): tier
  *          resolvers for simulation and the 4-byte remap-table
  *          storage accounting of Section 6.6.
@@ -39,19 +40,23 @@
 #include <vector>
 
 #include "recshard/engine/execution.hh"
+#include "recshard/planner/planner.hh"
 #include "recshard/profiler/profiler.hh"
 #include "recshard/routing/router.hh"
 #include "recshard/serving/serving.hh"
-#include "recshard/sharding/milp_formulation.hh"
-#include "recshard/sharding/recshard_solver.hh"
 
 namespace recshard {
 
 /** Phase 5 controls: the multi-node routing evaluation. */
 struct RoutingPhaseOptions
 {
-    /** Serving nodes the cluster fronts. */
+    /** Serving nodes the cluster fronts (homogeneous: each gets
+     *  the pipeline's SystemSpec). Ignored when nodeSpecs is set. */
     std::uint32_t numNodes = 3;
+    /** Heterogeneous clusters: one SystemSpec per node. */
+    std::vector<SystemSpec> nodeSpecs;
+    /** Planner (registry name) solving each node's slice. */
+    std::string plannerName = "recshard";
     /** Arrival process for the routed query trace. */
     LoadConfig load;
     /** Queries to generate and route. */
@@ -66,7 +71,18 @@ struct PipelineOptions
     /** Samples to profile (paper: <=1% of the data store). */
     std::uint64_t profileSamples = 100000;
     std::uint32_t profileBatchSize = 4096;
-    /** Use the exact MILP instead of the scalable solver. */
+    /**
+     * Phase-2 strategy, by PlannerRegistry name ("recshard",
+     * "milp", "greedy-size", ...). Empty selects the legacy
+     * default: "milp" when the deprecated useExactMilp flag is
+     * set, "recshard" otherwise.
+     */
+    std::string plannerName;
+    /**
+     * @deprecated Back-compat shim for the pre-registry API: maps
+     * to plannerName = "milp". An explicit plannerName wins. Use
+     * plannerName instead.
+     */
     bool useExactMilp = false;
     RecShardOptions solver;
     MilpShardOptions milp;
@@ -76,6 +92,14 @@ struct PipelineOptions
     /** Run the optional multi-node routing phase. */
     bool evaluateRouting = false;
     RoutingPhaseOptions routing;
+
+    /** Phase-2 planner after the deprecation shim resolves. */
+    std::string effectivePlannerName() const
+    {
+        if (!plannerName.empty())
+            return plannerName;
+        return useExactMilp ? "milp" : "recshard";
+    }
 };
 
 /** Everything the pipeline produces. */
@@ -83,8 +107,8 @@ struct PipelineResult
 {
     std::vector<EmbProfile> profiles;
     ShardingPlan plan;
-    RecShardStats solverStats;     //!< scalable path only
-    MilpResult milpStats;          //!< exact path only
+    /** Uniform phase-2 diagnostics, whichever planner ran. */
+    PlanDiagnostics planDiag;
     std::vector<TierResolver> resolvers;
     /** 4 bytes/row over all split tables (Section 6.6). */
     std::uint64_t remapStorageBytes = 0;
@@ -152,14 +176,16 @@ struct ReshardAssessment
 /**
  * Quantify the benefit of re-sharding: profile-fresh statistics are
  * given; the incumbent plan (with its original hot sets) is priced
- * against a freshly solved plan.
+ * against a freshly solved plan. The fresh plan comes from any
+ * registered planner (default: the scalable solver).
  */
 ReshardAssessment
 assessReshard(const ModelSpec &model,
               const std::vector<EmbProfile> &fresh_profiles,
               const SystemSpec &system, const ShardingPlan &incumbent,
               const std::vector<TierResolver> &incumbent_resolvers,
-              const RecShardOptions &solver_options = {});
+              const RecShardOptions &solver_options = {},
+              const std::string &planner_name = "recshard");
 
 } // namespace recshard
 

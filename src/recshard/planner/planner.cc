@@ -1,0 +1,77 @@
+#include "recshard/planner/planner.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+PlanRequest
+PlanRequest::make(const ModelSpec &model,
+                  const std::vector<EmbProfile> &profiles,
+                  const SystemSpec &system, std::uint32_t batch_size)
+{
+    PlanRequest req;
+    req.model = &model;
+    req.profiles = &profiles;
+    req.system = system;
+    req.batchSize = batch_size;
+    return req;
+}
+
+void
+PlanRequest::validate() const
+{
+    fatal_if(model == nullptr, "PlanRequest has no model");
+    fatal_if(profiles == nullptr, "PlanRequest has no profiles");
+    fatal_if(profiles->size() != model->features.size(),
+             "PlanRequest profiles (", profiles->size(),
+             ") != model tables (", model->features.size(), ")");
+    fatal_if(batchSize == 0, "PlanRequest batch size cannot be 0");
+    system.validate();
+}
+
+double
+estimatePlanBottleneck(const ModelSpec &model,
+                       const std::vector<EmbProfile> &profiles,
+                       const SystemSpec &system,
+                       const ShardingPlan &plan, std::uint32_t batch)
+{
+    fatal_if(plan.tables.size() != model.features.size(),
+             "plan/model mismatch");
+    const EmbCostModel cost(system);
+    std::vector<double> gpu_cost(system.numGpus, 0.0);
+    for (std::size_t j = 0; j < plan.tables.size(); ++j) {
+        const auto &p = profiles[j];
+        const double pct =
+            p.cdf.accessFraction(plan.tables[j].hbmRows);
+        gpu_cost[plan.tables[j].gpu] += p.coverage *
+            cost.estimatedEmbCost(model.features[j], p.avgPool, pct,
+                                  batch);
+    }
+    return *std::max_element(gpu_cost.begin(), gpu_cost.end());
+}
+
+PlanResult
+Planner::plan(const PlanRequest &request) const
+{
+    request.validate();
+
+    PlanResult out;
+    out.diag.planner = name();
+    const auto t0 = std::chrono::steady_clock::now();
+    out.plan = solve(request, out.diag);
+    out.diag.solveSeconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+    if (out.diag.feasible) {
+        out.plan.validate(*request.model, request.system);
+        out.diag.bottleneckCost = estimatePlanBottleneck(
+            *request.model, *request.profiles, request.system,
+            out.plan, request.batchSize);
+    }
+    return out;
+}
+
+} // namespace recshard

@@ -1,0 +1,104 @@
+#include "recshard/planner/registry.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "recshard/base/logging.hh"
+#include "recshard/planner/strategies.hh"
+
+namespace recshard {
+
+namespace {
+
+struct Entry
+{
+    std::string name;
+    PlannerRegistry::Factory factory;
+};
+
+void
+checkEntry(const std::vector<Entry> &store, const std::string &name,
+           const PlannerRegistry::Factory &factory)
+{
+    fatal_if(name.empty(), "planner name cannot be empty");
+    fatal_if(!factory, "planner '", name, "' has a null factory");
+    for (const Entry &e : store)
+        fatal_if(e.name == name,
+                 "planner '", name, "' is already registered");
+}
+
+/**
+ * The store, seeded with the built-ins inside its (thread-safe)
+ * static initialization — so every lookup and every external
+ * registration, from any thread, observes the built-ins complete
+ * and first.
+ */
+std::vector<Entry> &
+entries()
+{
+    static std::vector<Entry> store = [] {
+        std::vector<Entry> seeded;
+        for (auto &builtin : builtinPlanners()) {
+            checkEntry(seeded, builtin.first, builtin.second);
+            seeded.push_back(
+                {builtin.first, std::move(builtin.second)});
+        }
+        return seeded;
+    }();
+    return store;
+}
+
+const Entry *
+find(const std::string &name)
+{
+    for (const Entry &e : entries())
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+} // namespace
+
+bool
+PlannerRegistry::add(const std::string &name, Factory factory)
+{
+    std::vector<Entry> &store = entries();
+    checkEntry(store, name, factory);
+    store.push_back({name, std::move(factory)});
+    return true;
+}
+
+std::unique_ptr<Planner>
+PlannerRegistry::create(const std::string &name)
+{
+    const Entry *e = find(name);
+    if (e == nullptr) {
+        std::ostringstream known;
+        for (const Entry &k : entries())
+            known << (known.tellp() > 0 ? ", " : "") << k.name;
+        fatal("unknown planner '", name, "' (registered: ",
+              known.str(), ")");
+    }
+    std::unique_ptr<Planner> planner = e->factory();
+    fatal_if(planner == nullptr,
+             "planner '", name, "' factory returned null");
+    return planner;
+}
+
+bool
+PlannerRegistry::contains(const std::string &name)
+{
+    return find(name) != nullptr;
+}
+
+std::vector<std::string>
+PlannerRegistry::names()
+{
+    std::vector<std::string> out;
+    out.reserve(entries().size());
+    for (const Entry &e : entries())
+        out.push_back(e.name);
+    return out;
+}
+
+} // namespace recshard

@@ -7,9 +7,8 @@
 #include "recshard/base/logging.hh"
 #include "recshard/core/pipeline.hh"
 #include "recshard/datagen/model_zoo.hh"
+#include "recshard/planner/registry.hh"
 #include "recshard/profiler/profiler.hh"
-#include "recshard/sharding/baselines.hh"
-#include "recshard/sharding/recshard_solver.hh"
 
 namespace recshard {
 
@@ -54,7 +53,13 @@ ExperimentConfig::cacheKey(const std::string &model_name,
     std::ostringstream os;
     os << model_name << "-" << variant << "-s" << scale << "-g"
        << gpus << "-b" << batch << "-w" << warmup << "-i" << iters
-       << "-r" << seed << "-p" << profileSamples << "-v6";
+       << "-r" << seed << "-p" << profileSamples << "-v7";
+    // The strategy set is part of the result's identity: binaries
+    // with different externally registered planners must not
+    // overwrite each other's entries.
+    for (const std::string &name : PlannerRegistry::names())
+        if (PlannerRegistry::create(name)->scalable())
+            os << "+" << name;
     return os.str();
 }
 
@@ -270,16 +275,23 @@ computeEvaluation(const ExperimentConfig &cfg,
     const SystemSpec &sys = prep.sys;
     const auto &profiles = prep.profiles;
 
+    PlanRequest req =
+        PlanRequest::make(model, profiles, sys, cfg.batch);
+
     std::vector<ShardingPlan> plans;
     if (!ablation) {
-        for (const auto kind :
-             {BaselineCost::Size, BaselineCost::Lookup,
-              BaselineCost::SizeLookup}) {
-            plans.push_back(greedyShard(kind, model, profiles, sys));
+        // Every registered strategy that can take a production-
+        // scale instance — a new planner registers itself and shows
+        // up in every baseline comparison automatically.
+        for (const std::string &name : PlannerRegistry::names()) {
+            const auto planner = PlannerRegistry::create(name);
+            if (!planner->scalable())
+                continue;
+            PlanResult solved = planner->plan(req);
+            fatal_if(!solved.diag.feasible, "planner '", name,
+                     "' found no feasible plan for ", model_name);
+            plans.push_back(std::move(solved.plan));
         }
-        RecShardOptions rs;
-        rs.batchSize = cfg.batch;
-        plans.push_back(recShardPlan(model, profiles, sys, rs));
     } else {
         struct Variant
         {
@@ -293,13 +305,11 @@ computeEvaluation(const ExperimentConfig &cfg,
             {"CDF + Pooling", true, false},
             {"RecShard (Full)", true, true},
         };
+        const auto planner = PlannerRegistry::create("recshard");
         for (const auto &v : variants) {
-            RecShardOptions rs;
-            rs.batchSize = cfg.batch;
-            rs.ablation.usePooling = v.pooling;
-            rs.ablation.useCoverage = v.coverage;
-            ShardingPlan plan = recShardPlan(model, profiles, sys,
-                                             rs);
+            req.solver.ablation.usePooling = v.pooling;
+            req.solver.ablation.useCoverage = v.coverage;
+            ShardingPlan plan = planner->plan(req).plan;
             plan.strategy = v.name;
             plans.push_back(std::move(plan));
         }
@@ -324,6 +334,16 @@ computeEvaluation(const ExperimentConfig &cfg,
     return eval;
 }
 
+/** Strategies evaluateModel covers: every scalable planner. */
+std::size_t
+scalablePlannerCount()
+{
+    std::size_t count = 0;
+    for (const std::string &name : PlannerRegistry::names())
+        count += PlannerRegistry::create(name)->scalable() ? 1 : 0;
+    return count;
+}
+
 ModelEvaluation
 evaluateCached(const ExperimentConfig &cfg,
                const std::string &model_name, bool ablation)
@@ -331,9 +351,11 @@ evaluateCached(const ExperimentConfig &cfg,
     const std::string key = cfg.cacheKey(
         model_name, ablation ? "ablation" : "strategies");
     const std::string path = cfg.cacheDir + "/" + key + ".txt";
+    const std::size_t expected =
+        ablation ? 4 : scalablePlannerCount();
     ModelEvaluation eval;
     eval.modelName = model_name;
-    if (!cfg.noCache && loadEvaluation(path, eval, 4)) {
+    if (!cfg.noCache && loadEvaluation(path, eval, expected)) {
         inform("loaded cached evaluation ", key);
         return eval;
     }
@@ -378,13 +400,12 @@ evaluateServing(const ExperimentConfig &cfg,
            cfg.gpus, " GPUs at ", serving.load.qps, " QPS...");
     const PreparedModel prep = prepareModel(cfg, model_name);
 
+    const PlanRequest req = PlanRequest::make(
+        prep.model, prep.profiles, prep.sys, cfg.batch);
     std::vector<ShardingPlan> plans;
-    plans.push_back(greedyShard(BaselineCost::Size, prep.model,
-                                prep.profiles, prep.sys));
-    RecShardOptions rs;
-    rs.batchSize = cfg.batch;
-    plans.push_back(
-        recShardPlan(prep.model, prep.profiles, prep.sys, rs));
+    for (const char *name : {"greedy-size", "recshard"})
+        plans.push_back(
+            PlannerRegistry::create(name)->plan(req).plan);
 
     std::vector<const ShardingPlan *> plan_ptrs;
     for (const auto &plan : plans)
@@ -413,13 +434,20 @@ evaluateRouting(const ExperimentConfig &cfg,
                 const std::string &model_name,
                 const RoutingPhaseOptions &routing)
 {
+    const std::size_t nodes = routing.nodeSpecs.empty()
+        ? routing.numNodes : routing.nodeSpecs.size();
     inform("routing ", model_name, " at scale ", cfg.scale,
-           " across ", routing.numNodes, " nodes of ", cfg.gpus,
-           " GPUs at ", routing.load.qps, " QPS...");
+           " across ", nodes,
+           routing.nodeSpecs.empty()
+               ? " nodes of " + std::to_string(cfg.gpus) + " GPUs"
+               : " heterogeneous nodes",
+           " at ", routing.load.qps, " QPS...");
     const PreparedModel prep = prepareModel(cfg, model_name);
 
     ClusterPlanOptions cp;
     cp.numNodes = routing.numNodes;
+    cp.nodeSpecs = routing.nodeSpecs;
+    cp.plannerName = routing.plannerName;
     cp.solver.batchSize = cfg.batch;
     const RoutingCluster cluster = buildRoutingCluster(
         prep.model, prep.profiles, prep.sys, cp);

@@ -71,19 +71,22 @@ struct StrategyResult
     std::uint64_t totalUvmRows() const;
 };
 
-/** All four strategies on one model. */
+/** Every evaluated strategy on one model. */
 struct ModelEvaluation
 {
     std::string modelName;
-    /** Size-Based, Lookup-Based, Size-Based-Lookup, RecShard. */
+    /** In PlannerRegistry order; with only the built-ins that is
+     *  Size-Based, Lookup-Based, Size-Based-Lookup, RecShard. */
     std::vector<StrategyResult> strategies;
 
     const StrategyResult &byName(const std::string &name) const;
 };
 
 /**
- * Evaluate the four sharding strategies on one RM ("rm1"/"rm2"/
- * "rm3"), replaying identical traffic, with disk memoization.
+ * Evaluate every registered scalable planner (the registry's
+ * baselines plus RecShard, plus anything externally registered) on
+ * one RM ("rm1"/"rm2"/"rm3"), replaying identical traffic, with
+ * disk memoization.
  */
 ModelEvaluation evaluateModel(const ExperimentConfig &config,
                               const std::string &model_name);

@@ -21,8 +21,6 @@ buildRoutingCluster(const ModelSpec &model,
                     const ClusterPlanOptions &options)
 {
     RoutingCluster cluster;
-    cluster.system = system;
-    cluster.system.validate();
     cluster.planSet =
         solveNodePlans(model, profiles, system, options);
     cluster.resolvers.reserve(cluster.planSet.plans.size());

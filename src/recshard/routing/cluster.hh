@@ -4,11 +4,13 @@
  *
  * buildRoutingCluster() turns one shared profiling pass into
  * everything the Router needs: traffic-balanced table slices, one
- * RecShard plan per node (sharding/cluster_plan.hh), and per-node
- * tier resolvers. The cluster is immutable once built — Router
- * instances borrow it and keep their own per-run node state, so
- * several policies can be evaluated against the same cluster and
- * the same trace without re-solving anything.
+ * plan per node solved by a registry-selected planner against that
+ * node's own SystemSpec (sharding/cluster_plan.hh — nodes may be
+ * heterogeneous), and per-node tier resolvers. The cluster is
+ * immutable once built — Router instances borrow it and keep their
+ * own per-run node state, so several policies can be evaluated
+ * against the same cluster and the same trace without re-solving
+ * anything.
  */
 
 #ifndef RECSHARD_ROUTING_CLUSTER_HH
@@ -24,8 +26,7 @@ namespace recshard {
 /** Immutable multi-node serving cluster description. */
 struct RoutingCluster
 {
-    SystemSpec system; //!< per-node system (validated)
-    /** Table slices and per-node plans. */
+    /** Table slices, per-node specs, plans, and diagnostics. */
     ClusterPlanSet planSet;
     /** resolvers[n]: node n's per-EMB tier resolvers. */
     std::vector<std::vector<TierResolver>> resolvers;
@@ -33,6 +34,12 @@ struct RoutingCluster
     std::uint32_t numNodes() const
     {
         return static_cast<std::uint32_t>(planSet.plans.size());
+    }
+
+    /** The system node n's plan was solved against. */
+    const SystemSpec &nodeSystem(std::uint32_t n) const
+    {
+        return planSet.nodeSpecs[n];
     }
 
     /** Plan pointers in node order (LocalityIndex input). */
@@ -45,8 +52,9 @@ struct RoutingCluster
  *
  * @param model    Model every node serves.
  * @param profiles Shared per-EMB profiles (one profiling pass).
- * @param system   Per-node system spec.
- * @param options  Node count and solver controls.
+ * @param system   System spec shared by every node; heterogeneous
+ *                 clusters override it via options.nodeSpecs.
+ * @param options  Node count/specs, planner name, and controls.
  */
 RoutingCluster
 buildRoutingCluster(const ModelSpec &model,

@@ -78,8 +78,8 @@ Router::route(const RoutedTrace &trace) const
     nodes.reserve(N);
     for (std::uint32_t n = 0; n < N; ++n)
         nodes.emplace_back(n, model, cluster.planSet.plans[n],
-                           cluster.resolvers[n], cluster.system,
-                           cfg.server);
+                           cluster.resolvers[n],
+                           cluster.nodeSystem(n), cfg.server);
 
     const LocalityIndex index(cluster.planPtrs());
     NodePicker picker(cfg.policy, index, cfg.localityLoadPenalty);

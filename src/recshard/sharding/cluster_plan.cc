@@ -5,18 +5,27 @@
 #include <string>
 
 #include "recshard/base/logging.hh"
+#include "recshard/planner/registry.hh"
 
 namespace recshard {
 
 namespace {
 
-/** LPT partition of tables into `n` slices by expected traffic. */
+/**
+ * LPT partition of tables into one slice per node by expected
+ * traffic, weighted by node HBM: the next-heaviest table goes to
+ * the node with the lowest (load + weight) / totalHbmBytes, so a
+ * node with twice the HBM absorbs roughly twice the traffic. With
+ * identical nodes this reduces exactly to the classic least-loaded
+ * LPT rule.
+ */
 std::vector<std::vector<std::uint32_t>>
 partitionByTraffic(const ModelSpec &model,
                    const std::vector<EmbProfile> &profiles,
-                   std::uint32_t n)
+                   const std::vector<SystemSpec> &specs)
 {
     const std::uint32_t J = model.numFeatures();
+    const auto N = static_cast<std::uint32_t>(specs.size());
     std::vector<std::uint32_t> order(J);
     std::iota(order.begin(), order.end(), 0u);
     std::vector<double> weight(J);
@@ -29,14 +38,32 @@ partitionByTraffic(const ModelSpec &model,
                       ? weight[a] > weight[b] : a < b;
               });
 
-    std::vector<std::vector<std::uint32_t>> slices(n);
-    std::vector<double> load(n, 0.0);
+    std::vector<std::vector<std::uint32_t>> slices(N);
+    std::vector<double> load(N, 0.0);
+    std::uint32_t empty_slices = N;
+    std::uint32_t remaining = J;
     for (const std::uint32_t j : order) {
-        const auto lightest = static_cast<std::size_t>(
-            std::min_element(load.begin(), load.end()) -
-            load.begin());
-        slices[lightest].push_back(j);
-        load[lightest] += weight[j];
+        // Every node must end with a non-empty slice (an empty one
+        // would silently disable locality routing and hedging for
+        // that node): once the tables left only just cover the
+        // still-empty slices, restrict placement to those.
+        const bool must_fill_empty = remaining == empty_slices;
+        std::uint32_t best = 0;
+        double best_fill = -1.0;
+        for (std::uint32_t n = 0; n < N; ++n) {
+            if (must_fill_empty && !slices[n].empty())
+                continue;
+            const double fill = (load[n] + weight[j]) /
+                static_cast<double>(specs[n].totalHbmBytes());
+            if (best_fill < 0.0 || fill < best_fill) {
+                best = n;
+                best_fill = fill;
+            }
+        }
+        empty_slices -= slices[best].empty() ? 1 : 0;
+        slices[best].push_back(j);
+        load[best] += weight[j];
+        --remaining;
     }
     for (auto &slice : slices)
         std::sort(slice.begin(), slice.end());
@@ -52,21 +79,35 @@ solveNodePlans(const ModelSpec &model,
                const ClusterPlanOptions &options)
 {
     const std::uint32_t J = model.numFeatures();
-    const std::uint32_t N = options.numNodes;
-    fatal_if(N == 0, "cluster needs at least one node");
     fatal_if(profiles.size() != J, "profiles (", profiles.size(),
              ") != model tables (", J, ")");
+
+    ClusterPlanSet out;
+    if (options.nodeSpecs.empty()) {
+        fatal_if(options.numNodes == 0,
+                 "cluster needs at least one node");
+        out.nodeSpecs.assign(options.numNodes, system);
+    } else {
+        out.nodeSpecs = options.nodeSpecs;
+    }
+    const auto N = static_cast<std::uint32_t>(out.nodeSpecs.size());
+    for (const SystemSpec &spec : out.nodeSpecs)
+        spec.validate();
     fatal_if(N > J, "cannot slice ", J, " tables across ", N,
              " nodes");
 
-    ClusterPlanSet out;
-    out.slices = partitionByTraffic(model, profiles, N);
+    const std::unique_ptr<Planner> planner =
+        PlannerRegistry::create(options.plannerName);
+
+    out.slices = partitionByTraffic(model, profiles, out.nodeSpecs);
     out.plans.reserve(N);
+    out.diags.reserve(N);
 
     for (std::uint32_t n = 0; n < N; ++n) {
         const std::vector<std::uint32_t> &slice = out.slices[n];
+        const SystemSpec &node_sys = out.nodeSpecs[n];
 
-        // Solve the slice as its own model under the full per-node
+        // Solve the slice as its own model under the node's own
         // budget: node n spends all of its HBM on its slice's ICDFs.
         ModelSpec sub;
         sub.name = model.name + "/node" + std::to_string(n);
@@ -77,17 +118,31 @@ solveNodePlans(const ModelSpec &model,
             sub.features.push_back(model.features[j]);
             sub_profiles.push_back(profiles[j]);
         }
-        const ShardingPlan sub_plan =
-            recShardPlan(sub, sub_profiles, system, options.solver);
+        // Batch size follows the selected path, matching the
+        // pipeline's phase-2 rule.
+        PlanRequest req = PlanRequest::make(
+            sub, sub_profiles, node_sys,
+            options.plannerName == "milp"
+                ? options.milp.batchSize
+                : options.solver.batchSize);
+        req.solver = options.solver;
+        req.milp = options.milp;
+        PlanResult solved = planner->plan(req);
+        fatal_if(!solved.diag.feasible,
+                 "planner '", options.plannerName,
+                 "' found no feasible plan for node ", n,
+                 "'s slice");
+        const ShardingPlan &sub_plan = solved.plan;
 
         // Lift back to the full model. Slice tables keep their
         // solved placement; every other table lives wholly in UVM,
         // packed onto the least-loaded GPU so no single GPU's UVM
         // budget or bandwidth is a hotspot.
         ShardingPlan plan;
-        plan.strategy = "RecShard/node" + std::to_string(n);
+        plan.strategy =
+            sub_plan.strategy + "/node" + std::to_string(n);
         plan.tables.resize(J);
-        std::vector<std::uint64_t> uvm_load(system.numGpus, 0);
+        std::vector<std::uint64_t> uvm_load(node_sys.numGpus, 0);
         for (std::size_t i = 0; i < slice.size(); ++i) {
             plan.tables[slice[i]] = sub_plan.tables[i];
             const auto &f = model.features[slice[i]];
@@ -116,8 +171,9 @@ solveNodePlans(const ModelSpec &model,
             uvm_load[gpu] += model.features[j].tableBytes();
         }
 
-        plan.validate(model, system);
+        plan.validate(model, node_sys);
         out.plans.push_back(std::move(plan));
+        out.diags.push_back(std::move(solved.diag));
     }
     return out;
 }

@@ -74,13 +74,19 @@ TEST(Pipeline, ExactMilpPathOnTinyModel)
 
     PipelineOptions opts;
     opts.profileSamples = 10000;
+    // The deprecated shim: useExactMilp must keep routing through
+    // the registry's "milp" planner.
     opts.useExactMilp = true;
     opts.milp.icdfSteps = 5;
+    EXPECT_EQ(opts.effectivePlannerName(), "milp");
     const PipelineResult result =
         RecShardPipeline(data, sys, opts).run();
     result.plan.validate(model, sys);
     EXPECT_EQ(result.plan.strategy, "RecShard-MILP");
-    EXPECT_GT(result.milpStats.nodesExplored, 0u);
+    EXPECT_EQ(result.planDiag.planner, "milp");
+    EXPECT_GT(result.planDiag.refinementSteps, 0u)
+        << "branch-and-bound explored no nodes";
+    EXPECT_GT(result.planDiag.bottleneckCost, 0.0);
 }
 
 TEST(Pipeline, RejectsZeroSamples)

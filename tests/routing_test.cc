@@ -220,9 +220,10 @@ TEST(Routing, LocalityIndexPrefersThePinningNode)
         ASSERT_GT(rq.totalLookups, 0u);
         const double own = index.score(n, rq);
         for (std::uint32_t m = 0; m < 3; ++m) {
-            if (m != n)
+            if (m != n) {
                 EXPECT_GT(own, index.score(m, rq))
                     << "node " << n << " vs " << m;
+            }
         }
     }
 }
