@@ -46,6 +46,8 @@ main(int argc, char **argv)
     flags.addDouble("sla-ms", 1.0, "latency SLA, ms");
     flags.addDouble("hedge-quantile", 0.95,
                     "latency quantile that sets the hedge delay");
+    flags.addInt("hedge-refresh", 8,
+                 "completions between hedge-delay refreshes");
     flags.addDouble("load-penalty", 0.1,
                     "locality score deducted per outstanding query");
     flags.addInt("profile-samples", 30000, "profiling samples");
@@ -96,6 +98,8 @@ main(int argc, char **argv)
         flags.getDouble("overhead-us") / 1e6;
     base.slaSeconds = flags.getDouble("sla-ms") / 1e3;
     base.hedge.quantile = flags.getDouble("hedge-quantile");
+    base.hedge.refreshInterval = static_cast<std::uint64_t>(
+        flags.getInt("hedge-refresh"));
     base.localityLoadPenalty = flags.getDouble("load-penalty");
 
     std::vector<RouterConfig> configs;

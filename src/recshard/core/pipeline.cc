@@ -75,12 +75,19 @@ RecShardPipeline::run() const
     }
     result.remapSeconds = secondsSince(t0);
 
-    // Phase 4 (optional): the plan under online request load.
+    // Phase 4 (optional): the plan under online request load. The
+    // pipeline owns the phase-1 profiles, so a "cdf-gated" cache
+    // admission policy is wired to them automatically unless the
+    // caller supplied CDFs of their own.
     if (opts.evaluateServing) {
         t0 = Clock::now();
+        ServingConfig serving = opts.serving;
+        if (serving.server.admission.cdfs.empty())
+            serving.server.admission.cdfs =
+                collectCdfs(result.profiles);
         result.serving = serveTraffic(data, result.plan,
                                       result.resolvers, sys,
-                                      opts.serving);
+                                      serving);
         result.servingSeconds = secondsSince(t0);
     }
 
@@ -97,9 +104,12 @@ RecShardPipeline::run() const
             data.spec(), result.profiles, sys, cp);
         const RoutedTrace trace = materializeRoutedTrace(
             data, opts.routing.load, opts.routing.numQueries);
+        RouterConfig rc = opts.routing.router;
+        if (rc.server.admission.cdfs.empty())
+            rc.server.admission.cdfs =
+                collectCdfs(result.profiles);
         result.routing =
-            Router(data.spec(), cluster, opts.routing.router)
-                .route(trace);
+            Router(data.spec(), cluster, rc).route(trace);
         result.routingSeconds = secondsSince(t0);
     }
     return result;

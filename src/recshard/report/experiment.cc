@@ -411,11 +411,17 @@ evaluateServing(const ExperimentConfig &cfg,
     for (const auto &plan : plans)
         plan_ptrs.push_back(&plan);
 
+    // "cdf-gated" cache admission consumes the harness's own
+    // profiles; honor caller-supplied CDFs if present.
+    ServingConfig scfg = serving;
+    if (scfg.server.admission.cdfs.empty())
+        scfg.server.admission.cdfs = collectCdfs(prep.profiles);
+
     ServingEvaluation eval;
     eval.modelName = model_name;
     eval.strategies = serveTrafficComparison(
         prep.data, plan_ptrs, resolveAll(prep, plans), prep.sys,
-        serving);
+        scfg);
     return eval;
 }
 
@@ -462,6 +468,9 @@ evaluateRouting(const ExperimentConfig &cfg,
             RouterConfig rc = routing.router;
             rc.policy = policy;
             rc.hedge.enabled = hedging;
+            if (rc.server.admission.cdfs.empty())
+                rc.server.admission.cdfs =
+                    collectCdfs(prep.profiles);
             configs.push_back(rc);
         }
     }

@@ -48,6 +48,35 @@ struct QueryState
 
 } // namespace
 
+LatencyWindow::LatencyWindow(std::uint64_t capacity)
+    : cap(capacity)
+{
+    fatal_if(cap == 0, "latency window cannot be empty");
+    buf.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(cap, 4096)));
+}
+
+void
+LatencyWindow::push(double latency)
+{
+    if (buf.size() < cap)
+        buf.push_back(latency);
+    else
+        // `count` samples already landed, so this one is sample
+        // count+1; its slot is count % cap — overwriting exactly
+        // the oldest survivor. (The historical off-by-one wrote
+        // (count+1) % cap, which spared the oldest sample one
+        // extra lap while evicting a one-newer sample.)
+        buf[count % cap] = latency;
+    ++count;
+}
+
+double
+LatencyWindow::quantile(double q) const
+{
+    return percentile(buf, q);
+}
+
 Router::Router(const ModelSpec &model_,
                const RoutingCluster &cluster_, RouterConfig config)
     : model(model_), cluster(cluster_), cfg(config)
@@ -64,6 +93,8 @@ Router::Router(const ModelSpec &model_,
              " outside [0,1]");
     fatal_if(cfg.hedge.windowSize == 0,
              "hedge latency window cannot be empty");
+    fatal_if(cfg.hedge.refreshInterval == 0,
+             "hedge-delay refresh interval must be >= 1");
 }
 
 RoutingReport
@@ -110,19 +141,18 @@ Router::route(const RoutedTrace &trace) const
     std::uint64_t hbm = 0, uvm = 0, cache_hits = 0;
 
     // The hedge delay chases the observed latency quantile over a
-    // sliding window; refreshed periodically, not per completion,
-    // to keep the quantile sort off the per-event path.
-    std::vector<double> window;
-    window.reserve(std::min<std::uint64_t>(Q,
-                                           cfg.hedge.windowSize));
+    // sliding window; refreshed every refreshInterval completions,
+    // not per completion, to keep the quantile sort off the
+    // per-event path.
+    LatencyWindow window(cfg.hedge.windowSize);
     double hedge_delay = 0.0;
     std::uint64_t since_refresh = 0;
     const std::uint64_t arm_after =
         std::max<std::uint64_t>(cfg.hedge.minSamples, 1);
     auto refreshHedgeDelay = [&] {
         hedge_delay = std::max(cfg.hedge.minDelaySeconds,
-                               percentile(window,
-                                          cfg.hedge.quantile));
+                               window.quantile(
+                                   cfg.hedge.quantile));
         since_refresh = 0;
     };
 
@@ -221,12 +251,9 @@ Router::route(const RoutedTrace &trace) const
                   latencies.push_back(latency);
                   last_finish = std::max(last_finish, e.time);
 
-                  if (window.size() < cfg.hedge.windowSize)
-                      window.push_back(latency);
-                  else
-                      window[completed % cfg.hedge.windowSize] =
-                          latency;
-                  if (++since_refresh >= 8 ||
+                  window.push(latency);
+                  if (++since_refresh >=
+                          cfg.hedge.refreshInterval ||
                       completed == arm_after)
                       refreshHedgeDelay();
 

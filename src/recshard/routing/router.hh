@@ -35,6 +35,36 @@
 
 namespace recshard {
 
+/**
+ * Fixed-capacity ring buffer of the most recent latency samples —
+ * the sliding window the hedge-delay quantile is computed over.
+ * Once full, each push overwrites the *oldest* sample, so the
+ * buffer always holds exactly the last `capacity` observations.
+ */
+class LatencyWindow
+{
+  public:
+    /** @param capacity Samples retained; must be >= 1. */
+    explicit LatencyWindow(std::uint64_t capacity);
+
+    /** Record one latency, displacing the oldest when full. */
+    void push(double latency);
+
+    /** Quantile q in [0,1] over the current contents. */
+    double quantile(double q) const;
+
+    /** Current contents (ring order, not age order). */
+    const std::vector<double> &samples() const { return buf; }
+
+    /** Samples pushed over the window's lifetime. */
+    std::uint64_t pushed() const { return count; }
+
+  private:
+    std::uint64_t cap;
+    std::uint64_t count = 0;
+    std::vector<double> buf;
+};
+
 /** Request-hedging controls. */
 struct HedgeConfig
 {
@@ -49,6 +79,9 @@ struct HedgeConfig
     double minDelaySeconds = 0.0;
     /** Latency-window capacity the quantile is computed over. */
     std::uint64_t windowSize = 512;
+    /** Completions between hedge-delay refreshes (the quantile
+     *  re-sort stays off the per-event path); must be >= 1. */
+    std::uint64_t refreshInterval = 8;
     /**
      * Tied requests (Dean & Barroso, "The Tail at Scale"): the
      * moment either copy of a hedged query starts executing, the

@@ -1,9 +1,12 @@
 #include "recshard/serving/lru_cache.hh"
 
+#include "recshard/serving/cache_admission.hh"
+
 namespace recshard {
 
-LruRowCache::LruRowCache(std::uint64_t capacity_rows)
-    : capacityV(capacity_rows)
+LruRowCache::LruRowCache(std::uint64_t capacity_rows,
+                         CacheAdmission *admission_)
+    : capacityV(capacity_rows), admission(admission_)
 {
 }
 
@@ -12,6 +15,8 @@ LruRowCache::touch(std::uint64_t key)
 {
     if (capacityV == 0)
         return false;
+    if (admission)
+        admission->onAccess(key);
     const auto it = map.find(key);
     if (it != map.end()) {
         order.splice(order.begin(), order, it->second);
@@ -19,7 +24,13 @@ LruRowCache::touch(std::uint64_t key)
         return true;
     }
     ++missesV;
-    if (map.size() >= capacityV) {
+    const bool full = map.size() >= capacityV;
+    if (admission &&
+        !admission->admit(key, full, full ? order.back() : 0)) {
+        ++rejectedV;
+        return false;
+    }
+    if (full) {
         map.erase(order.back());
         order.pop_back();
     }

@@ -10,6 +10,12 @@
  * lookup that hits the cache is served at HBM speed. Each GPU
  * server owns one cache instance, so no locking is needed — the
  * server thread is the only toucher.
+ *
+ * What may *enter* the cache is delegated to a CacheAdmission
+ * policy (cache_admission.hh): a plain LRU admits every miss, so
+ * one-off cold rows evict recurring warm rows; frequency-aware
+ * admission (TinyLFU or CDF-gated) refuses the cold rows and keeps
+ * the hit rate up at equal capacity.
  */
 
 #ifndef RECSHARD_SERVING_LRU_CACHE_HH
@@ -19,18 +25,29 @@
 #include <list>
 #include <unordered_map>
 
+#include "recshard/base/logging.hh"
+
 namespace recshard {
+
+class CacheAdmission;
 
 /** Fixed-capacity LRU set of (table, row) keys. */
 class LruRowCache
 {
   public:
-    /** @param capacity_rows Rows the cache can hold; 0 disables. */
-    explicit LruRowCache(std::uint64_t capacity_rows);
+    /**
+     * @param capacity_rows Rows the cache can hold; 0 disables.
+     * @param admission     Optional admission gate consulted on
+     *                      every miss (borrowed; must outlive the
+     *                      cache). Null admits everything.
+     */
+    explicit LruRowCache(std::uint64_t capacity_rows,
+                         CacheAdmission *admission = nullptr);
 
     /**
      * Look up a key, promoting it to most-recently-used; on a miss
-     * the key is inserted (evicting the LRU entry when full).
+     * the key is inserted (evicting the LRU entry when full) if the
+     * admission policy allows it.
      *
      * @return true on a hit.
      */
@@ -40,8 +57,13 @@ class LruRowCache
     static std::uint64_t
     rowKey(std::uint32_t table, std::uint64_t row)
     {
-        // Hash sizes stay far below 2^48, so the table id fits in
-        // the top 16 bits without collisions.
+        // The table id lives in the top 16 bits; the packing
+        // silently collides outside these bounds, so fail loudly
+        // instead (production hash sizes stay far below 2^48).
+        panic_if(table >= (1u << 16), "cache key table id ", table,
+                 " does not fit in 16 bits");
+        panic_if(row >= (1ULL << 48), "cache key row ", row,
+                 " does not fit in 48 bits");
         return (static_cast<std::uint64_t>(table) << 48) | row;
     }
 
@@ -50,17 +72,21 @@ class LruRowCache
     std::uint64_t size() const { return map.size(); }
     std::uint64_t hits() const { return hitsV; }
     std::uint64_t misses() const { return missesV; }
+    /** Misses the admission policy refused to cache. */
+    std::uint64_t rejected() const { return rejectedV; }
 
     /** Hits over all touches; 0 when untouched. */
     double hitRate() const;
 
   private:
     std::uint64_t capacityV;
+    CacheAdmission *admission; //!< borrowed; may be null
     std::list<std::uint64_t> order; //!< MRU at front
     std::unordered_map<std::uint64_t,
                        std::list<std::uint64_t>::iterator> map;
     std::uint64_t hitsV = 0;
     std::uint64_t missesV = 0;
+    std::uint64_t rejectedV = 0;
 };
 
 } // namespace recshard

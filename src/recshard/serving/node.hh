@@ -61,6 +61,17 @@ class ServingNode
                 const SystemSpec &system,
                 const ShardServerConfig &config);
 
+    /**
+     * Move-only: the pool's servers own their admission-policy
+     * instances through unique_ptr, and deleting the copy ops here
+     * (rather than relying on the member-wise implicit deletion)
+     * lets vector growth select the move constructor even though
+     * the pending deque's move is not noexcept.
+     */
+    ServingNode(ServingNode &&) = default;
+    ServingNode(const ServingNode &) = delete;
+    ServingNode &operator=(const ServingNode &) = delete;
+
     /** Append a query to the pending queue (no dispatch yet). */
     void enqueue(std::uint64_t query_id);
 

@@ -1,5 +1,7 @@
 #include "recshard/serving/serving.hh"
 
+#include <algorithm>
+
 #include "recshard/base/logging.hh"
 
 namespace recshard {
@@ -45,7 +47,8 @@ ServingReport
 serveTrace(const SyntheticDataset &data, const ShardingPlan &plan,
            const std::vector<TierResolver> &resolvers,
            const SystemSpec &system, const ServingConfig &config,
-           const ServingTrace &trace)
+           const ServingTrace &trace,
+           const std::string &strategy_name)
 {
     ShardServerPool pool(data.spec(), plan, resolvers, system,
                          config.server);
@@ -66,8 +69,19 @@ serveTrace(const SyntheticDataset &data, const ShardingPlan &plan,
     double busy = 0.0;
     for (const ShardServer &server : pool.servers())
         busy += server.busySeconds();
-    return metrics.report(plan.strategy, config.slaSeconds,
+    return metrics.report(strategy_name, config.slaSeconds,
                           system.numGpus, busy);
+}
+
+/** Fail fast on a bad admission-policy name. */
+void
+validateAdmissionPolicy(const ShardServerConfig &server)
+{
+    const auto &policies = cacheAdmissionPolicyNames();
+    fatal_if(std::find(policies.begin(), policies.end(),
+                       server.admission.policy) == policies.end(),
+             "unknown cache admission policy '",
+             server.admission.policy, "'");
 }
 
 } // namespace
@@ -95,6 +109,9 @@ serveTrafficComparison(
              plans.size(), ")");
     fatal_if(config.slaSeconds < 0.0,
              "latency SLA must be >= 0, got ", config.slaSeconds);
+    // Reject a bad admission-policy name before paying for trace
+    // materialization (the servers would only fatal later).
+    validateAdmissionPolicy(config.server);
 
     const ServingTrace trace = generateTrace(data, config);
 
@@ -102,7 +119,38 @@ serveTrafficComparison(
     reports.reserve(plans.size());
     for (std::size_t p = 0; p < plans.size(); ++p)
         reports.push_back(serveTrace(data, *plans[p], resolvers[p],
-                                     system, config, trace));
+                                     system, config, trace,
+                                     plans[p]->strategy));
+    return reports;
+}
+
+std::vector<ServingReport>
+serveServerComparison(const SyntheticDataset &data,
+                      const ShardingPlan &plan,
+                      const std::vector<TierResolver> &resolvers,
+                      const SystemSpec &system,
+                      const ServingConfig &config,
+                      const std::vector<ShardServerConfig> &servers)
+{
+    fatal_if(servers.empty(), "no server configs to compare");
+    fatal_if(config.slaSeconds < 0.0,
+             "latency SLA must be >= 0, got ", config.slaSeconds);
+    for (const ShardServerConfig &server : servers)
+        validateAdmissionPolicy(server);
+
+    const ServingTrace trace = generateTrace(data, config);
+
+    std::vector<ServingReport> reports;
+    reports.reserve(servers.size());
+    for (const ShardServerConfig &server : servers) {
+        ServingConfig one = config;
+        one.server = server;
+        const std::string name = server.cacheRows
+            ? plan.strategy + "/" + server.admission.policy
+            : plan.strategy;
+        reports.push_back(serveTrace(data, plan, resolvers, system,
+                                     one, trace, name));
+    }
     return reports;
 }
 

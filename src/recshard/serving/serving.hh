@@ -76,6 +76,22 @@ serveTrafficComparison(const SyntheticDataset &data,
                        const SystemSpec &system,
                        const ServingConfig &config);
 
+/**
+ * Serve the *same* traffic trace through one plan under several
+ * per-server configurations (cache capacities, admission policies)
+ * — the server-side analogue of serveTrafficComparison, so cache
+ * admission policies are comparable the same way planners are.
+ * Report order matches `servers`; each report's strategy is
+ * suffixed "/<admission policy>" when its cache is enabled.
+ */
+std::vector<ServingReport>
+serveServerComparison(const SyntheticDataset &data,
+                      const ShardingPlan &plan,
+                      const std::vector<TierResolver> &resolvers,
+                      const SystemSpec &system,
+                      const ServingConfig &config,
+                      const std::vector<ShardServerConfig> &servers);
+
 } // namespace recshard
 
 #endif // RECSHARD_SERVING_SERVING_HH

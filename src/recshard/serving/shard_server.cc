@@ -13,7 +13,12 @@ ShardServer::ShardServer(std::uint32_t gpu, const ModelSpec &model_,
                          const EmbCostModel &cost_,
                          ShardServerConfig config)
     : gpuV(gpu), model(model_), resolvers(resolvers_),
-      cost(cost_), cfg(config), lru(config.cacheRows)
+      cost(cost_), cfg(config),
+      admission(config.cacheRows
+                    ? makeCacheAdmission(config.admission,
+                                         config.cacheRows)
+                    : nullptr),
+      lru(config.cacheRows, admission.get())
 {
     fatal_if(resolvers.size() != plan.tables.size(),
              "plan has ", plan.tables.size(), " tables but ",

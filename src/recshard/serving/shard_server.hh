@@ -26,9 +26,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "recshard/datagen/feature_spec.hh"
 #include "recshard/memsim/system_spec.hh"
 #include "recshard/remap/remap_table.hh"
+#include "recshard/serving/cache_admission.hh"
 #include "recshard/serving/lru_cache.hh"
 #include "recshard/serving/scheduler.hh"
 #include "recshard/sharding/plan.hh"
@@ -58,6 +61,9 @@ struct ShardServerConfig
     std::uint64_t cacheRows = 0;
     /** Fixed per-micro-batch overhead (kernel launch + gather). */
     double batchOverheadSeconds = 20e-6;
+    /** Cache admission policy ("always", "tinylfu", "cdf-gated")
+     *  and its knobs; each server builds its own instance. */
+    CacheAdmissionConfig admission;
 };
 
 /** One micro-batch's execution record on one GPU. */
@@ -113,9 +119,14 @@ class ShardServer
     std::uint32_t gpuV;
     const ModelSpec &model;
     const std::vector<TierResolver> &resolvers;
-    const EmbCostModel &cost;
+    /** By value (it is two bandwidths and a mode): referencing the
+     *  owning pool's copy would dangle when the pool is moved. */
+    EmbCostModel cost;
     ShardServerConfig cfg;
     std::vector<std::uint32_t> features; //!< EMBs on this GPU
+    /** Declared before lru, which borrows the raw pointer; the
+     *  pointee is heap-owned so moving the server keeps it valid. */
+    std::unique_ptr<CacheAdmission> admission;
     LruRowCache lru;
     double freeTime = 0.0; //!< virtual time the server idles from
     double busy = 0.0;

@@ -64,6 +64,29 @@ TEST(Pipeline, EndToEndProducesExecutablePlan)
               replayed[1].uvmAccessFraction());
 }
 
+TEST(Pipeline, ServingPhaseAutoWiresCdfGatedAdmission)
+{
+    const ModelSpec model = makeTinyModel(8, 3000, 3);
+    SyntheticDataset data(model, 5);
+    SystemSpec sys = SystemSpec::paper(2, 1.0);
+    sys.hbm.capacityBytes = model.totalBytes() / 6;
+    sys.uvm.capacityBytes = model.totalBytes();
+
+    PipelineOptions opts;
+    opts.profileSamples = 20000;
+    opts.evaluateServing = true;
+    opts.serving.numQueries = 500;
+    opts.serving.server.cacheRows = 200;
+    // "cdf-gated" requires per-EMB CDFs; the pipeline must wire
+    // its own phase-1 profiles in (it would fatal otherwise).
+    opts.serving.server.admission.policy = "cdf-gated";
+    opts.serving.server.admission.hotQuantile = 1.0;
+    const PipelineResult result =
+        RecShardPipeline(data, sys, opts).run();
+    EXPECT_EQ(result.serving.queries, 500u);
+    EXPECT_GT(result.servingSeconds, 0.0);
+}
+
 TEST(Pipeline, ExactMilpPathOnTinyModel)
 {
     const ModelSpec model = makeTinyModel(4, 800, 11);

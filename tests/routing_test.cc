@@ -368,6 +368,98 @@ TEST(ServingNode, PendingQueriesCancelButRunningOnesDoNot)
     EXPECT_EQ(node.dispatched(), 1u);
 }
 
+// ------------------------------------------- cache admission
+
+TEST(Routing, AdmissionPolicyThreadsThroughTheRouter)
+{
+    // RouterConfig carries the per-node ShardServerConfig, so an
+    // admission policy selected there must reach every node's
+    // per-GPU cache.
+    const RoutingFixture &fx = fixture();
+    RouterConfig rc = fx.routerConfig(RoutingPolicy::RoundRobin,
+                                      false);
+    rc.server.admission.policy = "tinylfu";
+    const RoutingReport lfu =
+        Router(fx.model, fx.cluster, rc).route(fx.trace);
+    EXPECT_EQ(lfu.queries, fx.trace.queries.size());
+    EXPECT_GT(lfu.cacheHits, 0u);
+
+    // CDF-gated admission with the fixture's own profiles: every
+    // node's foreign tables live wholly in UVM there, so their
+    // profiled-hot rows are cacheable and the gate admits them.
+    rc.server.admission.policy = "cdf-gated";
+    rc.server.admission.cdfs = collectCdfs(fx.profiles);
+    const RoutingReport gated =
+        Router(fx.model, fx.cluster, rc).route(fx.trace);
+    EXPECT_EQ(gated.queries, fx.trace.queries.size());
+    EXPECT_GT(gated.cacheHits, 0u);
+}
+
+// ----------------------------------------- hedge latency window
+
+TEST(LatencyWindow, FillPhaseAppendsInOrder)
+{
+    LatencyWindow w(4);
+    w.push(1.0);
+    w.push(2.0);
+    w.push(3.0);
+    EXPECT_EQ(w.pushed(), 3u);
+    EXPECT_EQ(w.samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_DOUBLE_EQ(w.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(w.quantile(1.0), 3.0);
+}
+
+TEST(LatencyWindow, OverwritesTheOldestSampleAfterWrap)
+{
+    // Regression for the sliding-window off-by-one: the fill phase
+    // stores completion c at index c-1, but replacement used to
+    // write window[completed % size], so the oldest sample survived
+    // one extra lap while a one-newer sample was evicted. Sample 5
+    // must overwrite sample 1 (slot 0) and sample 6 must overwrite
+    // sample 2 (slot 1); the buggy indexing produced {1,5,6,4}.
+    LatencyWindow w(4);
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0})
+        w.push(x);
+    EXPECT_EQ(w.pushed(), 6u);
+    EXPECT_EQ(w.samples(), (std::vector<double>{5.0, 6.0, 3.0, 4.0}));
+    // The stale minimum is gone: the window's floor is sample 3.
+    EXPECT_DOUBLE_EQ(w.quantile(0.0), 3.0);
+
+    // A full extra lap replaces everything.
+    for (double x : {7.0, 8.0, 9.0, 10.0})
+        w.push(x);
+    EXPECT_EQ(w.samples(),
+              (std::vector<double>{9.0, 10.0, 7.0, 8.0}));
+}
+
+TEST(LatencyWindow, RejectsEmptyCapacity)
+{
+    EXPECT_DEATH(LatencyWindow(0), "empty");
+}
+
+TEST(Hedging, RefreshIntervalIsValidated)
+{
+    const RoutingFixture &fx = fixture();
+    RouterConfig rc = fx.routerConfig(RoutingPolicy::RoundRobin,
+                                      true);
+    rc.hedge.refreshInterval = 0;
+    EXPECT_DEATH(Router(fx.model, fx.cluster, rc),
+                 "refresh interval");
+}
+
+TEST(Hedging, RefreshIntervalIsSweepable)
+{
+    // A per-completion refresh (interval 1) and the default lazy
+    // refresh are both valid configurations and serve every query.
+    const RoutingFixture &fx = fixture();
+    RouterConfig rc = fx.routerConfig(RoutingPolicy::RoundRobin,
+                                      true);
+    rc.hedge.refreshInterval = 1;
+    const RoutingReport r =
+        Router(fx.model, fx.cluster, rc).route(fx.trace);
+    EXPECT_EQ(r.queries, fx.trace.queries.size());
+}
+
 // ---------------------------------------------------- headline
 
 TEST(Routing, LocalityPlusHedgingHoldsRoundRobinTail)
