@@ -91,9 +91,22 @@ RecShardPipeline::run() const
         result.servingSeconds = secondsSince(t0);
     }
 
-    // Phase 5 (optional): a multi-node cluster under routed load.
+    // Phase 5 (optional): a multi-node cluster under routed load
+    // with overload control (admission + degraded-mode serving).
     if (opts.evaluateRouting) {
         t0 = Clock::now();
+        // Fail fast on a bad overload config — name *and* knobs —
+        // before paying for cluster solving (the Router would only
+        // re-validate after every node's plan is solved).
+        const std::uint32_t nodes = opts.routing.nodeSpecs.empty()
+            ? opts.routing.numNodes
+            : static_cast<std::uint32_t>(
+                  opts.routing.nodeSpecs.size());
+        makeAdmissionController(
+            opts.routing.router.overload.admission, nodes,
+            opts.routing.router.slaSeconds);
+        (void)DegradationPolicy(
+            opts.routing.router.overload.degradation);
         ClusterPlanOptions cp;
         cp.numNodes = opts.routing.numNodes;
         cp.nodeSpecs = opts.routing.nodeSpecs;

@@ -28,7 +28,10 @@
  * is solved per node (sharding/cluster_plan.hh), and a front-end
  * Router replays an online query trace through the cluster under a
  * configurable routing policy with optional tail-at-scale request
- * hedging (routing/router.hh). Enable it with
+ * hedging (routing/router.hh) and overload control — admission
+ * policies and degraded-mode serving selected through
+ * RouterConfig::overload (overload/) — so the phase stays
+ * meaningful past cluster saturation. Enable it with
  * PipelineOptions::evaluateRouting; the report lands in
  * PipelineResult::routing.
  */

@@ -1,0 +1,94 @@
+#include "recshard/overload/degradation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+DegradationPolicy::DegradationPolicy(const DegradationConfig &config)
+    : cfg(config)
+{
+    fatal_if(cfg.tierFactors.empty(),
+             "degradation needs at least the full-fidelity tier");
+    fatal_if(cfg.tierFactors.front() != 1.0,
+             "tier 0 must serve the full candidate set (factor "
+             "1.0), got ", cfg.tierFactors.front());
+    for (std::size_t t = 0; t < cfg.tierFactors.size(); ++t) {
+        fatal_if(cfg.tierFactors[t] <= 0.0 ||
+                     cfg.tierFactors[t] > 1.0,
+                 "tier ", t, " factor ", cfg.tierFactors[t],
+                 " outside (0,1]");
+        fatal_if(t > 0 &&
+                     cfg.tierFactors[t] > cfg.tierFactors[t - 1],
+                 "tier factors must be non-increasing; tier ", t,
+                 " keeps ", cfg.tierFactors[t], " after ",
+                 cfg.tierFactors[t - 1]);
+    }
+    fatal_if(cfg.tierPressure.size() + 1 != cfg.tierFactors.size(),
+             "need one pressure threshold per degraded tier: ",
+             cfg.tierFactors.size(), " tiers but ",
+             cfg.tierPressure.size(), " thresholds");
+    for (std::size_t t = 0; t < cfg.tierPressure.size(); ++t) {
+        fatal_if(cfg.tierPressure[t] <= 0.0,
+                 "tier ", t + 1, " pressure threshold must be "
+                 "positive, got ", cfg.tierPressure[t]);
+        fatal_if(t > 0 &&
+                     cfg.tierPressure[t] <= cfg.tierPressure[t - 1],
+                 "tier pressure thresholds must ascend; ",
+                 cfg.tierPressure[t], " after ",
+                 cfg.tierPressure[t - 1]);
+    }
+    fatal_if(cfg.minSamples == 0,
+             "a degraded query must keep at least one candidate");
+    fatal_if(cfg.shedPressure != 0.0 &&
+                 !cfg.tierPressure.empty() &&
+                 cfg.shedPressure <= cfg.tierPressure.back(),
+             "shed backstop at pressure ", cfg.shedPressure,
+             " would make the deepest tier (threshold ",
+             cfg.tierPressure.back(), ") unreachable");
+    fatal_if(cfg.shedPressure < 0.0,
+             "shed backstop pressure must be >= 0, got ",
+             cfg.shedPressure);
+    // A single-tier config with no backstop has no response to
+    // overload at all: a shed verdict would be promoted to tier 1
+    // and clamped straight back to full fidelity, silently
+    // reproducing admit-all under a "+degrade" label.
+    fatal_if(cfg.enabled && cfg.tierFactors.size() == 1 &&
+                 cfg.shedPressure == 0.0,
+             "degradation with a single (full-fidelity) tier and "
+             "no shed backstop cannot act on overload; add a "
+             "degraded tier or set shedPressure");
+}
+
+std::uint32_t
+DegradationPolicy::tierFor(const AdmissionVerdict &verdict) const
+{
+    std::uint32_t tier = 0;
+    for (const double threshold : cfg.tierPressure) {
+        if (verdict.pressure < threshold)
+            break;
+        ++tier;
+    }
+    // Degradation replaces shedding: a rejected query is served at
+    // reduced fidelity, never dropped.
+    if (!verdict.admit)
+        tier = std::max<std::uint32_t>(tier, 1);
+    return std::min<std::uint32_t>(tier, numTiers() - 1);
+}
+
+std::uint32_t
+DegradationPolicy::degradedSamples(std::uint32_t offered,
+                                   std::uint32_t tier) const
+{
+    fatal_if(tier >= numTiers(), "tier ", tier, " out of range (",
+             numTiers(), " tiers)");
+    fatal_if(offered == 0, "query offers no candidates");
+    const auto kept = static_cast<std::uint32_t>(std::ceil(
+        static_cast<double>(offered) * cfg.tierFactors[tier]));
+    return std::clamp<std::uint32_t>(
+        std::max(kept, cfg.minSamples), 1, offered);
+}
+
+} // namespace recshard

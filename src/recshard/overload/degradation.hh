@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Degraded-mode serving: trade recommendation quality for SLA
+ * compliance instead of shedding.
+ *
+ * A recommendation query scores `samples` ranking candidates; under
+ * overload, serving *fewer* candidates is usually a better deal
+ * than rejecting the request or letting it queue past its deadline
+ * — the user still gets a (slightly worse) ranked list, and the
+ * query's embedding-lookup cost shrinks roughly linearly with the
+ * candidate count. The DegradationPolicy maps the admission
+ * controller's pressure signal (admission.hh) to a fidelity *tier*:
+ * tier 0 serves the full candidate set, deeper tiers keep a
+ * configured fraction of it. The router trims the query's
+ * materialized lookups to the kept candidates (routing/trace.hh),
+ * so a degraded query is genuinely cheaper all the way through
+ * ServingNode/ShardServer cost accounting — not just labeled so.
+ *
+ * Tier selection is a pure function of the verdict, so degraded
+ * runs stay deterministic, and a shed verdict always lands on at
+ * least tier 1: degradation *replaces* shedding rather than
+ * stacking on top of it.
+ */
+
+#ifndef RECSHARD_OVERLOAD_DEGRADATION_HH
+#define RECSHARD_OVERLOAD_DEGRADATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/overload/admission.hh"
+
+namespace recshard {
+
+/** Degraded-mode controls. */
+struct DegradationConfig
+{
+    /**
+     * Serve under overload at reduced fidelity instead of shedding.
+     * When false the admission verdict is final (reject mode).
+     */
+    bool enabled = false;
+    /**
+     * Fraction of a query's ranking candidates each tier keeps.
+     * tierFactors[0] is the full-fidelity tier and must be 1.0;
+     * factors must be non-increasing and in (0, 1].
+     */
+    std::vector<double> tierFactors = {1.0, 0.5, 0.25, 0.125};
+    /**
+     * Ascending pressure thresholds engaging tiers 1..; size must
+     * be tierFactors.size() - 1. Tier t serves while pressure is in
+     * [tierPressure[t-1], tierPressure[t]); pressure beyond the
+     * last threshold serves at the deepest tier.
+     */
+    std::vector<double> tierPressure = {1.0, 1.5, 2.5};
+    /** Candidates a degraded query always keeps (>= 1). */
+    std::uint32_t minSamples = 1;
+    /**
+     * Brownout -> blackout backstop: pressure at or beyond which
+     * even degrade mode sheds. A burst the deepest tier cannot
+     * absorb (arrival rate above the tier's service rate) would
+     * otherwise grow the queue without bound and drag served
+     * queries past the SLA anyway. Must exceed the last
+     * tierPressure threshold, so the deepest tier stays reachable;
+     * 0 disables the backstop (pure degrade — never sheds).
+     */
+    double shedPressure = 0.0;
+};
+
+/** Pressure -> fidelity-tier mapping (validated, immutable). */
+class DegradationPolicy
+{
+  public:
+    explicit DegradationPolicy(const DegradationConfig &config);
+
+    bool enabled() const { return cfg.enabled; }
+    std::uint32_t numTiers() const
+    {
+        return static_cast<std::uint32_t>(cfg.tierFactors.size());
+    }
+
+    /**
+     * Tier for one admission verdict: the number of pressure
+     * thresholds at or below the verdict's pressure, clamped to the
+     * deepest tier. A shed verdict is promoted to at least tier 1 —
+     * the query is served degraded instead of rejected.
+     */
+    std::uint32_t tierFor(const AdmissionVerdict &verdict) const;
+
+    /** Backstop check: pressure so far beyond the deepest tier
+     *  that the query must be shed after all. */
+    bool shouldShed(const AdmissionVerdict &verdict) const
+    {
+        return cfg.shedPressure > 0.0 &&
+            verdict.pressure >= cfg.shedPressure;
+    }
+
+    /**
+     * Candidates a query offering `offered` samples keeps at
+     * `tier`: ceil(offered x factor), floored at minSamples and
+     * never above `offered`.
+     */
+    std::uint32_t degradedSamples(std::uint32_t offered,
+                                  std::uint32_t tier) const;
+
+    const DegradationConfig &config() const { return cfg; }
+
+  private:
+    DegradationConfig cfg;
+};
+
+/**
+ * Everything the router needs to control overload: how to decide
+ * (admission) and what a non-admit decision means (shed when
+ * degradation is disabled, serve degraded when enabled).
+ */
+struct OverloadConfig
+{
+    AdmissionConfig admission;
+    DegradationConfig degradation;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_OVERLOAD_DEGRADATION_HH

@@ -1,5 +1,6 @@
 #include "recshard/report/experiment.hh"
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -480,6 +481,112 @@ evaluateRouting(const ExperimentConfig &cfg,
     eval.nodePlans = cluster.planSet.plans;
     eval.policies = routeTrafficComparison(prep.model, cluster,
                                            configs, trace);
+    return eval;
+}
+
+const RoutingReport &
+OverloadEvaluation::at(const std::string &mode,
+                       double multiplier) const
+{
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        if (modes[m] != mode)
+            continue;
+        for (std::size_t l = 0; l < loadMultipliers.size(); ++l)
+            // Tolerant match: callers may recompute the multiplier
+            // (base * 1.5 and the stored literal differ in ULPs).
+            if (std::abs(loadMultipliers[l] - multiplier) < 1e-9)
+                return reports[m][l];
+    }
+    fatal("no overload report for mode '", mode, "' at ",
+          multiplier, "x saturation");
+}
+
+OverloadEvaluation
+evaluateOverload(const ExperimentConfig &cfg,
+                 const std::string &model_name,
+                 const RoutingPhaseOptions &routing,
+                 const std::vector<double> &load_multipliers)
+{
+    fatal_if(load_multipliers.empty(),
+             "no load multipliers to evaluate");
+    const std::size_t nodes = routing.nodeSpecs.empty()
+        ? routing.numNodes : routing.nodeSpecs.size();
+    inform("overload-controlling ", model_name, " at scale ",
+           cfg.scale, " across ", nodes, " nodes...");
+    const PreparedModel prep = prepareModel(cfg, model_name);
+
+    ClusterPlanOptions cp;
+    cp.numNodes = routing.numNodes;
+    cp.nodeSpecs = routing.nodeSpecs;
+    cp.plannerName = routing.plannerName;
+    cp.solver.batchSize = cfg.batch;
+    const RoutingCluster cluster = buildRoutingCluster(
+        prep.model, prep.profiles, prep.sys, cp);
+
+    RouterConfig base = routing.router;
+    if (base.server.admission.cdfs.empty())
+        base.server.admission.cdfs = collectCdfs(prep.profiles);
+
+    // Saturation probe: the configured load's trace, served once
+    // without admission or hedging, fixes the rate that "1.0x"
+    // means.
+    OverloadEvaluation eval;
+    eval.modelName = model_name;
+    eval.loadMultipliers = load_multipliers;
+    {
+        const RoutedTrace sample = materializeRoutedTrace(
+            prep.data, routing.load, routing.numQueries);
+        eval.saturationQps = estimateSaturationQps(
+            prep.model, cluster, base, sample);
+    }
+    eval.meanServiceSeconds =
+        static_cast<double>(cluster.numNodes()) /
+        eval.saturationQps;
+
+    // Reject and degrade share one controller: the configured one,
+    // or queue-threshold (the simplest real policy) when the
+    // routing config left admission off. An unset bound (the 0
+    // default) is SLA-derived; an explicitly pinned bound is
+    // honored.
+    AdmissionConfig controlled = base.overload.admission;
+    if (controlled.policy == "admit-all")
+        controlled.policy = "queue-threshold";
+    if (controlled.policy == "queue-threshold" &&
+        controlled.maxOutstanding == 0)
+        controlled.maxOutstanding = deriveQueueBound(
+            base.slaSeconds, eval.meanServiceSeconds);
+
+    eval.modes = {"admit-all", "reject", "degrade"};
+    std::vector<RouterConfig> mode_configs(3, base);
+    mode_configs[0].overload = OverloadConfig{};
+    mode_configs[1].overload.admission = controlled;
+    mode_configs[1].overload.degradation.enabled = false;
+    mode_configs[2].overload.admission = controlled;
+    mode_configs[2].overload.degradation.enabled = true;
+    // Arm the brownout->blackout backstop unless the caller pinned
+    // one: a burst beyond the deepest tier's capacity must shed,
+    // or the comparison's degrade column measures queue collapse.
+    // Derived just past the caller's own deepest tier threshold so
+    // any valid tier ladder stays fully reachable.
+    DegradationConfig &dg = mode_configs[2].overload.degradation;
+    if (dg.shedPressure == 0.0)
+        dg.shedPressure = std::max(
+            3.0, dg.tierPressure.empty()
+                     ? 3.0 : dg.tierPressure.back() + 0.5);
+
+    eval.reports.assign(3, {});
+    for (const double mult : load_multipliers) {
+        LoadConfig load = routing.load;
+        load.qps = mult * eval.saturationQps;
+        // One trace per multiplier, shared by all three modes, so
+        // differences are attributable to overload control alone.
+        const RoutedTrace trace = materializeRoutedTrace(
+            prep.data, load, routing.numQueries);
+        for (std::size_t m = 0; m < 3; ++m)
+            eval.reports[m].push_back(
+                Router(prep.model, cluster, mode_configs[m])
+                    .route(trace));
+    }
     return eval;
 }
 

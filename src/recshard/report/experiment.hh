@@ -144,6 +144,50 @@ RoutingEvaluation evaluateRouting(const ExperimentConfig &config,
                                   const std::string &model_name,
                                   const RoutingPhaseOptions &routing);
 
+/** Overload-control comparison on one model's cluster. */
+struct OverloadEvaluation
+{
+    std::string modelName;
+    /** Measured cluster saturation arrival rate (queries/s); the
+     *  load multipliers below are relative to it. */
+    double saturationQps = 0.0;
+    /** Mean per-query service time the saturation probe measured. */
+    double meanServiceSeconds = 0.0;
+    /** "admit-all", "reject", "degrade" — presentation order. */
+    std::vector<std::string> modes;
+    /** Arrival-rate multiples of saturationQps, ascending. */
+    std::vector<double> loadMultipliers;
+    /** reports[m][l]: modes[m] at loadMultipliers[l]; every report
+     *  at one multiplier replays the identical trace. */
+    std::vector<std::vector<RoutingReport>> reports;
+
+    const RoutingReport &at(const std::string &mode,
+                            double multiplier) const;
+};
+
+/**
+ * The overload comparison: measure the cluster's saturation rate,
+ * then route identical traces at each load multiplier under three
+ * overload modes — "admit-all" (the uncontrolled baseline),
+ * "reject" (the configured admission controller sheds; defaults to
+ * "queue-threshold" when the routing config left admission at
+ * admit-all), and "degrade" (same controller, but shed verdicts
+ * serve at reduced fidelity instead). The queue-threshold bound is
+ * derived from the SLA and the measured service time unless the
+ * caller pinned one (deriveQueueBound), and the degrade mode
+ * always runs with a brownout->blackout backstop — derived just
+ * past the deepest tier threshold when the caller left
+ * shedPressure 0 — because an unbounded pure-degrade column would
+ * measure queue collapse, not degradation, on bursty traces. Not
+ * disk-memoized, for the same reason evaluateServing is not.
+ */
+OverloadEvaluation
+evaluateOverload(const ExperimentConfig &config,
+                 const std::string &model_name,
+                 const RoutingPhaseOptions &routing,
+                 const std::vector<double> &load_multipliers =
+                     {1.0, 1.5, 2.5});
+
 /** The paper's headline numbers for side-by-side printing. */
 namespace paper {
 

@@ -44,6 +44,14 @@ struct QueryState
      *  a duplicate could not beat the in-service copy). */
     bool started = false;
     bool done = false;
+    /** Rejected at admission (never enqueued anywhere). */
+    bool shed = false;
+    /** Fidelity tier assigned at admission (0 = full). Fixed for
+     *  the query's lifetime, so a hedge copy serves the identical
+     *  candidate subset as its primary. */
+    std::uint32_t tier = 0;
+    /** Ranking candidates actually served (== offered at tier 0). */
+    std::uint32_t keptSamples = 0;
 };
 
 } // namespace
@@ -95,6 +103,12 @@ Router::Router(const ModelSpec &model_,
              "hedge latency window cannot be empty");
     fatal_if(cfg.hedge.refreshInterval == 0,
              "hedge-delay refresh interval must be >= 1");
+    // Fail fast on a bad overload config: both are rebuilt (and
+    // re-validated) per route() call, but a misconfiguration should
+    // not wait for the first trace to surface.
+    makeAdmissionController(cfg.overload.admission,
+                            cluster.numNodes(), cfg.slaSeconds);
+    (void)DegradationPolicy(cfg.overload.degradation);
 }
 
 RoutingReport
@@ -114,6 +128,16 @@ Router::route(const RoutedTrace &trace) const
 
     const LocalityIndex index(cluster.planPtrs());
     NodePicker picker(cfg.policy, index, cfg.localityLoadPenalty);
+
+    // Overload control: the admission controller decides per
+    // arrival, the degradation policy turns a shed verdict (and
+    // mounting pressure) into fidelity tiers instead of drops.
+    const std::unique_ptr<AdmissionController> admission =
+        makeAdmissionController(cfg.overload.admission, N,
+                                cfg.slaSeconds);
+    const DegradationPolicy degrade(cfg.overload.degradation);
+    const std::uint32_t tiers =
+        degrade.enabled() ? degrade.numTiers() : 1;
 
     std::priority_queue<Event, std::vector<Event>, EventLater>
         events;
@@ -140,6 +164,15 @@ Router::route(const RoutedTrace &trace) const
     double wasted = 0.0;
     std::uint64_t hbm = 0, uvm = 0, cache_hits = 0;
 
+    // Overload accounting: per-tier served counts and the
+    // candidate (quality) ledger.
+    std::uint64_t shed = 0;
+    std::uint64_t max_outstanding = 0;
+    std::vector<std::uint64_t> tier_queries(tiers, 0);
+    std::vector<std::uint64_t> tier_offered_cand(tiers, 0);
+    std::vector<std::uint64_t> tier_served_cand(tiers, 0);
+    std::uint64_t offered_cand = 0, served_cand = 0;
+
     // The hedge delay chases the observed latency quantile over a
     // sliding window; refreshed every refreshInterval completions,
     // not per completion, to keep the quantile sort off the
@@ -157,17 +190,34 @@ Router::route(const RoutedTrace &trace) const
     };
 
     // Start a node's head-of-line query if the fleet is idle.
+    std::vector<std::uint32_t> prefix; // reused dispatch scratch
     auto tryDispatch = [&](std::uint32_t n, double now) {
         if (nodes[n].busy() || !nodes[n].hasPending())
             return;
         const std::uint64_t qid = nodes[n].frontPending();
         const RoutedQuery &rq = trace.queries[qid];
-        const NodeDispatch d = nodes[n].dispatchNext(
-            now, rq.asBatch(now), rq.lookups);
+        // A degraded query executes only its kept candidates'
+        // lookups — a CSR prefix of each feature's list, limited
+        // in place (nothing is copied) — so its service time
+        // genuinely shrinks with its fidelity.
+        const bool trimmed =
+            state[qid].keptSamples < rq.query.samples;
+        if (trimmed)
+            rq.degradedPrefix(state[qid].keptSamples, prefix);
+        const NodeDispatch d = trimmed
+            ? nodes[n].dispatchNext(
+                  now,
+                  rq.asDegradedBatch(now, state[qid].keptSamples),
+                  rq.lookups, &prefix)
+            : nodes[n].dispatchNext(now, rq.asBatch(now),
+                                    rq.lookups);
         node_service[n] += d.serviceSeconds;
         hbm += d.hbmAccesses;
         uvm += d.uvmAccesses;
         cache_hits += d.cacheHits;
+        admission->observeDispatch(n, now,
+                                   now - rq.query.arrival,
+                                   d.serviceSeconds);
 
         QueryState &st = state[qid];
         st.started = true;
@@ -198,8 +248,33 @@ Router::route(const RoutedTrace &trace) const
           case EventKind::Arrival: {
               const RoutedQuery &rq = trace.queries[e.query];
               const std::uint32_t n = picker.pick(rq, nodes);
-              state[e.query].primary = n;
+              QueryState &st = state[e.query];
+              st.primary = n;
+              offered_cand += rq.query.samples;
+
+              const AdmissionVerdict verdict = admission->decide(
+                  e.time, n, nodes[n].outstanding());
+              if ((!verdict.admit && !degrade.enabled()) ||
+                  (degrade.enabled() &&
+                   degrade.shouldShed(verdict))) {
+                  st.shed = true;
+                  ++shed;
+                  break;
+              }
+              st.tier = degrade.enabled()
+                  ? degrade.tierFor(verdict) : 0;
+              st.keptSamples = st.tier == 0
+                  ? rq.query.samples
+                  : degrade.degradedSamples(rq.query.samples,
+                                            st.tier);
+              ++tier_queries[st.tier];
+              tier_offered_cand[st.tier] += rq.query.samples;
+              tier_served_cand[st.tier] += st.keptSamples;
+              served_cand += st.keptSamples;
+
               nodes[n].enqueue(e.query);
+              max_outstanding = std::max<std::uint64_t>(
+                  max_outstanding, nodes[n].outstanding());
               tryDispatch(n, e.time);
               // Arm a hedge timer only once the delay estimate
               // exists; a single-node cluster never hedges (both
@@ -232,6 +307,8 @@ Router::route(const RoutedTrace &trace) const
               st.hedged = true;
               ++hedged;
               nodes[h].enqueue(e.query);
+              max_outstanding = std::max<std::uint64_t>(
+                  max_outstanding, nodes[h].outstanding());
               tryDispatch(h, e.time);
               break;
           }
@@ -280,15 +357,45 @@ Router::route(const RoutedTrace &trace) const
         panic_if(node.outstanding() != 0, "node ", node.id(),
                  " finished with ", node.outstanding(),
                  " queries stranded");
-    panic_if(latencies.size() != Q, "served ", latencies.size(),
-             " of ", Q, " queries");
+    panic_if(latencies.size() + shed != Q, "served ",
+             latencies.size(), " + shed ", shed, " of ", Q,
+             " queries");
 
     RoutingReport r;
     r.policy = routingPolicyName(cfg.policy);
     r.hedging = cfg.hedge.enabled;
-    r.name = r.policy + (r.hedging ? "+hedge" : "");
+    r.admission = admission->name();
+    r.degradation = degrade.enabled();
+    r.name = r.policy + (r.hedging ? "+hedge" : "") +
+        (r.admission != "admit-all" ? "+" + r.admission : "") +
+        (r.degradation ? "+degrade" : "");
     r.queries = Q;
     r.slaSeconds = cfg.slaSeconds;
+
+    const std::uint64_t served = latencies.size();
+    r.servedQueries = served;
+    r.shedQueries = shed;
+    r.fullQueries = tier_queries[0];
+    for (std::uint32_t t = 1; t < tiers; ++t)
+        r.degradedQueries += tier_queries[t];
+    r.shedRate = static_cast<double>(shed) /
+        static_cast<double>(Q);
+    r.degradedRate = static_cast<double>(r.degradedQueries) /
+        static_cast<double>(Q);
+    r.offeredCandidates = offered_cand;
+    r.servedCandidates = served_cand;
+    r.candidateFraction = offered_cand
+        ? static_cast<double>(served_cand) /
+            static_cast<double>(offered_cand)
+        : 0.0;
+    r.tierQueries = tier_queries;
+    r.tierCandidateFraction.resize(tiers, 0.0);
+    for (std::uint32_t t = 0; t < tiers; ++t)
+        if (tier_offered_cand[t])
+            r.tierCandidateFraction[t] =
+                static_cast<double>(tier_served_cand[t]) /
+                static_cast<double>(tier_offered_cand[t]);
+    r.maxNodeOutstanding = max_outstanding;
 
     RunningStat lat;
     std::uint64_t violations = 0;
@@ -297,13 +404,16 @@ Router::route(const RoutedTrace &trace) const
         violations += l > cfg.slaSeconds;
     }
     r.meanLatency = lat.mean();
-    r.maxLatency = lat.max();
+    r.maxLatency = served ? lat.max() : 0.0;
     std::sort(latencies.begin(), latencies.end());
-    r.p50Latency = sortedPercentile(latencies, 0.50);
-    r.p95Latency = sortedPercentile(latencies, 0.95);
-    r.p99Latency = sortedPercentile(latencies, 0.99);
-    r.slaViolationRate = static_cast<double>(violations) /
-        static_cast<double>(Q);
+    if (served) {
+        r.p50Latency = sortedPercentile(latencies, 0.50);
+        r.p95Latency = sortedPercentile(latencies, 0.95);
+        r.p99Latency = sortedPercentile(latencies, 0.99);
+        r.slaViolationRate = static_cast<double>(violations) /
+            static_cast<double>(served);
+    }
+    r.goodQueries = served - violations;
 
     r.hedgedQueries = hedged;
     r.hedgeRate = static_cast<double>(hedged) /
@@ -335,11 +445,35 @@ Router::route(const RoutedTrace &trace) const
         total_service > 0.0 ? wasted / total_service : 0.0;
     r.durationSeconds = last_finish - first_arrival;
     if (r.durationSeconds > 0.0) {
-        r.qps = static_cast<double>(Q) / r.durationSeconds;
+        r.qps = static_cast<double>(served) / r.durationSeconds;
+        r.goodput = static_cast<double>(r.goodQueries) /
+            r.durationSeconds;
         r.clusterUtilization = total_service /
             (static_cast<double>(N) * r.durationSeconds);
     }
     return r;
+}
+
+double
+estimateSaturationQps(const ModelSpec &model,
+                      const RoutingCluster &cluster,
+                      RouterConfig config, const RoutedTrace &sample)
+{
+    // Admission and hedging off: every query runs at full fidelity
+    // exactly once, so busy seconds / queries is the mean service
+    // time the cluster sustains.
+    config.hedge.enabled = false;
+    config.overload = OverloadConfig{};
+    const RoutingReport r =
+        Router(model, cluster, config).route(sample);
+    double busy = 0.0;
+    for (const double s : r.nodeBusySeconds)
+        busy += s;
+    fatal_if(busy <= 0.0, "saturation probe measured no service "
+             "time over ", r.queries, " queries");
+    const double mean_service =
+        busy / static_cast<double>(r.queries);
+    return static_cast<double>(cluster.numNodes()) / mean_service;
 }
 
 std::vector<RoutingReport>

@@ -5,7 +5,9 @@
  * The Router is a single-threaded virtual-time discrete-event
  * simulation over a materialized query trace. Three event kinds
  * drive it: query Arrival (pick a node under the configured
- * policy and admit), HedgeFire (the tail-at-scale mitigation — if
+ * policy, then consult the overload controller — admit at full
+ * fidelity, admit degraded, or shed; see overload/), HedgeFire
+ * (the tail-at-scale mitigation — if
  * the query is still incomplete a configurable delay after arrival,
  * duplicate it to the best *other* node), and Completion (the first
  * finishing copy defines the query's latency; the losing copy is
@@ -28,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "recshard/overload/degradation.hh"
 #include "recshard/routing/cluster.hh"
 #include "recshard/routing/policy.hh"
 #include "recshard/routing/trace.hh"
@@ -98,6 +101,10 @@ struct RouterConfig
 {
     RoutingPolicy policy = RoutingPolicy::RoundRobin;
     HedgeConfig hedge;
+    /** Overload control: admission policy + degraded-mode serving
+     *  (defaults reproduce the historical admit-everything
+     *  behavior). */
+    OverloadConfig overload;
     /** Per-node server knobs (cache rows, batch overhead). */
     ShardServerConfig server;
     /** Latency SLA violations are scored against. */
@@ -109,19 +116,64 @@ struct RouterConfig
     double localityLoadPenalty = 0.1;
 };
 
-/** One (policy, hedging) combination's measurements. */
+/** One (policy, hedging, overload) combination's measurements. */
 struct RoutingReport
 {
-    /** "round-robin", "locality-aware+hedge", ... */
+    /** "round-robin", "locality-aware+hedge",
+     *  "least-outstanding+queue-threshold+degrade", ... */
     std::string name;
     std::string policy;
     bool hedging = false;
+    /** Admission controller name ("admit-all", ...). */
+    std::string admission;
+    /** Degraded-mode serving was enabled. */
+    bool degradation = false;
 
+    /** Queries *offered* (the whole trace, shed ones included). */
     std::uint64_t queries = 0;
     /** First arrival to last first-copy completion, seconds. */
     double durationSeconds = 0.0;
+    /** Served (admitted, completed) queries per second. */
     double qps = 0.0;
 
+    /**
+     * Overload accounting. Conservation invariant (enforced by
+     * tests/overload_property_test.cc):
+     *   fullQueries + degradedQueries + shedQueries == queries,
+     * with servedQueries == fullQueries + degradedQueries.
+     */
+    std::uint64_t servedQueries = 0;
+    std::uint64_t fullQueries = 0;     //!< served at tier 0
+    std::uint64_t degradedQueries = 0; //!< served at tier >= 1
+    std::uint64_t shedQueries = 0;     //!< rejected at admission
+    double shedRate = 0.0;             //!< shed / offered
+    double degradedRate = 0.0;         //!< degraded / offered
+    /** Served queries that met the SLA. */
+    std::uint64_t goodQueries = 0;
+    /** Goodput: SLA-compliant served queries per second — the
+     *  number overload control is judged on. */
+    double goodput = 0.0;
+    /** Quality accounting: ranking candidates offered by every
+     *  query vs. candidates actually served (shed queries serve
+     *  none; degraded queries serve a tier-sized subset). */
+    std::uint64_t offeredCandidates = 0;
+    std::uint64_t servedCandidates = 0;
+    /** servedCandidates / offeredCandidates; 1.0 when unloaded. */
+    double candidateFraction = 0.0;
+    /** Served queries per fidelity tier (tier 0 = full); sized by
+     *  the degradation config's tier count, {fullQueries} when
+     *  degradation is off. */
+    std::vector<std::uint64_t> tierQueries;
+    /** Per-tier candidate fraction (served / offered among that
+     *  tier's queries); 0 for an unused tier. */
+    std::vector<double> tierCandidateFraction;
+    /** Peak queued + running queries on any single node — the
+     *  queue-blowup detector the stress tier asserts on. */
+    std::uint64_t maxNodeOutstanding = 0;
+
+    /** Latency statistics of *served* queries only (a shed query
+     *  has no completion; mixing populations would make the
+     *  percentiles meaningless exactly at overload). */
     double meanLatency = 0.0;
     double p50Latency = 0.0;
     double p95Latency = 0.0;
@@ -129,6 +181,7 @@ struct RoutingReport
     double maxLatency = 0.0;
 
     double slaSeconds = 0.0;
+    /** Served queries with latency above slaSeconds, over served. */
     double slaViolationRate = 0.0;
 
     /** Queries actually duplicated (never the non-duplicated
@@ -198,6 +251,20 @@ routeTrafficComparison(const ModelSpec &model,
                        const RoutingCluster &cluster,
                        const std::vector<RouterConfig> &configs,
                        const RoutedTrace &trace);
+
+/**
+ * Measure the cluster's saturation arrival rate: serve `sample`
+ * once with admission and hedging disabled (otherwise `config` is
+ * honored — caches, overheads, policy) and divide the node count by
+ * the measured mean per-query service time. Arrival rates are
+ * meaningfully expressed as multiples of this rate ("2.5x
+ * saturation"), which is how the overload benches and the report
+ * harness parameterize their load sweeps.
+ */
+double estimateSaturationQps(const ModelSpec &model,
+                             const RoutingCluster &cluster,
+                             RouterConfig config,
+                             const RoutedTrace &sample);
 
 } // namespace recshard
 

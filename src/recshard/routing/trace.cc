@@ -4,6 +4,32 @@
 
 namespace recshard {
 
+MicroBatch
+RoutedQuery::asDegradedBatch(double ready, std::uint32_t kept) const
+{
+    fatal_if(kept == 0 || kept > query.samples,
+             "query ", query.id, " offers ", query.samples,
+             " candidates; cannot keep ", kept);
+    MicroBatch b = asBatch(ready);
+    b.queries.front().samples = kept;
+    return b;
+}
+
+void
+RoutedQuery::degradedPrefix(std::uint32_t kept,
+                            std::vector<std::uint32_t> &out) const
+{
+    fatal_if(kept == 0 || kept > query.samples,
+             "query ", query.id, " offers ", query.samples,
+             " candidates; cannot keep ", kept);
+    fatal_if(sampleOffsets.size() != lookups.size(),
+             "query ", query.id, " has ", sampleOffsets.size(),
+             " offset lists for ", lookups.size(), " features");
+    out.resize(lookups.size());
+    for (std::size_t j = 0; j < lookups.size(); ++j)
+        out[j] = sampleOffsets[j][kept];
+}
+
 RoutedTrace
 materializeRoutedTrace(const SyntheticDataset &data,
                        const LoadConfig &load,
@@ -20,11 +46,13 @@ materializeRoutedTrace(const SyntheticDataset &data,
         rq.query = generator.next();
         rq.query.id = i; // dense ids in arrival order
         rq.lookups.resize(J);
+        rq.sampleOffsets.resize(J);
         for (std::uint32_t j = 0; j < J; ++j) {
             FeatureBatch fb = data.featureBatch(
                 j, rq.query.samples, rq.query.batchIndex);
             rq.totalLookups += fb.indices.size();
             rq.lookups[j] = std::move(fb.indices);
+            rq.sampleOffsets[j] = std::move(fb.offsets);
         }
     }
     return trace;

@@ -31,6 +31,16 @@ struct RoutedQuery
     Query query;
     /** lookups[j]: row ids feature j reads for this query. */
     std::vector<std::vector<std::uint64_t>> lookups;
+    /**
+     * sampleOffsets[j]: CSR candidate boundaries into lookups[j]
+     * (query.samples + 1 entries) — candidate s of feature j owns
+     * lookups[j][sampleOffsets[j][s] .. sampleOffsets[j][s+1]).
+     * Preserved from the dataset's FeatureBatch layout so
+     * degraded-mode serving (overload/degradation.hh) can trim a
+     * query to its first `kept` ranking candidates at exact
+     * candidate boundaries.
+     */
+    std::vector<std::vector<std::uint32_t>> sampleOffsets;
     /** Total row reads across features (locality denominator). */
     std::uint64_t totalLookups = 0;
 
@@ -44,6 +54,25 @@ struct RoutedQuery
         b.queries = {query};
         return b;
     }
+
+    /**
+     * The query degraded to its first `kept` candidates, wrapped as
+     * a singleton micro-batch: identical to asBatch() except the
+     * carried query's sample count is the kept count, so downstream
+     * accounting sees the degraded size.
+     */
+    MicroBatch asDegradedBatch(double ready,
+                               std::uint32_t kept) const;
+
+    /**
+     * Per-feature lookup counts of the first `kept` candidates —
+     * the CSR prefix lengths a degraded dispatch limits execution
+     * to (ShardServer reads `lookups[j][0 .. out[j])` in place;
+     * nothing is copied on the dispatch path). `kept` must be in
+     * [1, query.samples]; `out` is overwritten.
+     */
+    void degradedPrefix(std::uint32_t kept,
+                        std::vector<std::uint32_t> &out) const;
 };
 
 /** A shared, immutable arrival stream with materialized lookups. */

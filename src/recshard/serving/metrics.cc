@@ -8,12 +8,29 @@
 namespace recshard {
 
 void
-ServingMetrics::recordQuery(double arrival, double completion)
+ServingMetrics::recordQuery(double arrival, double completion,
+                            std::uint32_t offered_samples,
+                            std::uint32_t served_samples)
 {
     fatal_if(completion < arrival, "query completed at ", completion,
              " before arriving at ", arrival);
+    if (served_samples == 0)
+        served_samples = offered_samples;
+    fatal_if(served_samples > offered_samples,
+             "query served ", served_samples, " of ",
+             offered_samples, " offered candidates");
     arrivals.push_back(arrival);
     completions.push_back(completion);
+    offeredCand += offered_samples;
+    servedCand += served_samples;
+}
+
+void
+ServingMetrics::recordShed(double arrival,
+                           std::uint32_t offered_samples)
+{
+    shedArrivals.push_back(arrival);
+    offeredCand += offered_samples;
 }
 
 void
@@ -40,7 +57,19 @@ ServingMetrics::report(const std::string &strategy,
     ServingReport r;
     r.strategy = strategy;
     r.slaSeconds = sla_seconds;
-    r.queries = arrivals.size();
+    r.servedQueries = arrivals.size();
+    r.shedQueries = shedArrivals.size();
+    r.queries = r.servedQueries + r.shedQueries;
+    r.shedRate = r.queries
+        ? static_cast<double>(r.shedQueries) /
+            static_cast<double>(r.queries)
+        : 0.0;
+    r.offeredCandidates = offeredCand;
+    r.servedCandidates = servedCand;
+    r.candidateFraction = offeredCand
+        ? static_cast<double>(servedCand) /
+            static_cast<double>(offeredCand)
+        : 0.0;
     r.batches = batchesV;
     r.hbmAccesses = hbm;
     r.uvmAccesses = uvm;
@@ -53,9 +82,15 @@ ServingMetrics::report(const std::string &strategy,
     r.uvmAccessFraction = accesses
         ? static_cast<double>(uvm) / static_cast<double>(accesses)
         : 0.0;
-    if (arrivals.empty())
+    r.meanBatchQueries = batchesV
+        ? static_cast<double>(batchedQueries) /
+            static_cast<double>(batchesV)
+        : 0.0;
+    if (arrivals.empty() && shedArrivals.empty())
         return r;
 
+    // Latency statistics cover the served population only; a shed
+    // query never completes, so it has no latency to fold in.
     std::vector<double> latencies(arrivals.size());
     std::uint64_t violations = 0;
     RunningStat lat;
@@ -64,27 +99,29 @@ ServingMetrics::report(const std::string &strategy,
         lat.push(latencies[i]);
         violations += latencies[i] > sla_seconds;
     }
-    r.meanLatency = lat.mean();
-    r.maxLatency = lat.max();
-    std::sort(latencies.begin(), latencies.end());
-    r.p50Latency = sortedPercentile(latencies, 0.50);
-    r.p95Latency = sortedPercentile(latencies, 0.95);
-    r.p99Latency = sortedPercentile(latencies, 0.99);
-    r.slaViolationRate = static_cast<double>(violations) /
-        static_cast<double>(r.queries);
-    r.meanBatchQueries = batchesV
-        ? static_cast<double>(batchedQueries) /
-            static_cast<double>(batchesV)
-        : 0.0;
+    if (!arrivals.empty()) {
+        r.meanLatency = lat.mean();
+        r.maxLatency = lat.max();
+        std::sort(latencies.begin(), latencies.end());
+        r.p50Latency = sortedPercentile(latencies, 0.50);
+        r.p95Latency = sortedPercentile(latencies, 0.95);
+        r.p99Latency = sortedPercentile(latencies, 0.99);
+        r.slaViolationRate = static_cast<double>(violations) /
+            static_cast<double>(r.servedQueries);
+        r.goodQueries = r.servedQueries - violations;
+    }
 
     // Queue depth over time: sweep +1/-1 events, weighting each
-    // depth by how long it persisted.
+    // depth by how long it persisted. Shed queries never occupy
+    // the queue, but their arrivals still open the offered window.
     std::vector<std::pair<double, int>> events;
-    events.reserve(2 * arrivals.size());
+    events.reserve(2 * arrivals.size() + shedArrivals.size());
     for (std::size_t i = 0; i < arrivals.size(); ++i) {
         events.push_back({arrivals[i], +1});
         events.push_back({completions[i], -1});
     }
+    for (const double t : shedArrivals)
+        events.push_back({t, 0});
     std::sort(events.begin(), events.end());
     const double start = events.front().first;
     const double end = events.back().first;
@@ -102,7 +139,10 @@ ServingMetrics::report(const std::string &strategy,
     }
     if (r.durationSeconds > 0.0) {
         r.meanQueueDepth = weighted / r.durationSeconds;
-        r.qps = static_cast<double>(r.queries) / r.durationSeconds;
+        r.qps = static_cast<double>(r.servedQueries) /
+            r.durationSeconds;
+        r.goodput = static_cast<double>(r.goodQueries) /
+            r.durationSeconds;
         r.serverUtilization = busy_seconds /
             (static_cast<double>(gpus) * r.durationSeconds);
     }

@@ -25,12 +25,34 @@ namespace recshard {
 struct ServingReport
 {
     std::string strategy;
+    /** Queries offered: served + shed. */
     std::uint64_t queries = 0;
     std::uint64_t batches = 0;
     /** First arrival to last completion, seconds. */
     double durationSeconds = 0.0;
-    /** Completed queries per second of that window. */
+    /** Served (completed) queries per second of that window. */
     double qps = 0.0;
+
+    /**
+     * Served/shed split. Latency statistics below are computed over
+     * the *served* population only: a shed (rejected or canceled)
+     * query has no completion time, and folding it into the
+     * percentiles would make p99 meaningless exactly at overload —
+     * the regression is pinned by serving_test's
+     * PercentilesCoverServedQueriesOnly.
+     */
+    std::uint64_t servedQueries = 0;
+    std::uint64_t shedQueries = 0;
+    double shedRate = 0.0; //!< shed / offered
+    /** Served queries that met the SLA. */
+    std::uint64_t goodQueries = 0;
+    /** SLA-compliant served queries per second. */
+    double goodput = 0.0;
+    /** Quality accounting: ranking candidates offered vs. actually
+     *  served (degraded queries serve a subset, shed serve none). */
+    std::uint64_t offeredCandidates = 0;
+    std::uint64_t servedCandidates = 0;
+    double candidateFraction = 0.0;
 
     double meanLatency = 0.0;
     double p50Latency = 0.0;
@@ -53,7 +75,8 @@ struct ServingReport
     double uvmAccessFraction = 0.0;
 
     double slaSeconds = 0.0;
-    /** Fraction of queries with latency above slaSeconds. */
+    /** Fraction of *served* queries with latency above
+     *  slaSeconds. */
     double slaViolationRate = 0.0;
     /** Busy seconds over GPU-seconds of the serving window. */
     double serverUtilization = 0.0;
@@ -63,9 +86,21 @@ struct ServingReport
 class ServingMetrics
 {
   public:
-    /** One query's life: admitted at `arrival`, done at
-     *  `completion`. */
-    void recordQuery(double arrival, double completion);
+    /**
+     * One served query's life: admitted at `arrival`, done at
+     * `completion`. Candidate counts feed the quality accounting;
+     * `served_samples` of 0 means "all offered candidates" (the
+     * non-degraded default).
+     */
+    void recordQuery(double arrival, double completion,
+                     std::uint32_t offered_samples = 1,
+                     std::uint32_t served_samples = 0);
+
+    /** One query rejected (or canceled) at `arrival` without ever
+     *  completing: counted against offered load, excluded from the
+     *  latency population. */
+    void recordShed(double arrival,
+                    std::uint32_t offered_samples = 1);
 
     /** One sealed micro-batch's shape. */
     void recordBatch(std::uint64_t num_queries);
@@ -87,13 +122,16 @@ class ServingMetrics
                          double busy_seconds) const;
 
   private:
-    std::vector<double> arrivals;
-    std::vector<double> completions;
+    std::vector<double> arrivals;    //!< served queries only
+    std::vector<double> completions; //!< served queries only
+    std::vector<double> shedArrivals;
     std::uint64_t batchesV = 0;
     std::uint64_t batchedQueries = 0;
     std::uint64_t hbm = 0;
     std::uint64_t uvm = 0;
     std::uint64_t cacheHitsV = 0;
+    std::uint64_t offeredCand = 0;
+    std::uint64_t servedCand = 0;
 };
 
 } // namespace recshard

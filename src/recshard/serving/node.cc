@@ -43,7 +43,8 @@ ServingNode::frontPending() const
 NodeDispatch
 ServingNode::dispatchNext(
     double now, const MicroBatch &batch,
-    const std::vector<std::vector<std::uint64_t>> &lookups)
+    const std::vector<std::vector<std::uint64_t>> &lookups,
+    const std::vector<std::uint32_t> *prefix)
 {
     fatal_if(running, "node ", idV,
              " asked to dispatch while query ", runningId,
@@ -55,7 +56,8 @@ ServingNode::dispatchNext(
              " but head-of-line is ", pending.front());
     pending.pop_front();
 
-    const BatchCompletion done = poolV.executeOne(batch, lookups);
+    const BatchCompletion done =
+        poolV.executeOne(batch, lookups, prefix);
     NodeDispatch d;
     d.queryId = batch.id;
     d.startTime = now;

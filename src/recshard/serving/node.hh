@@ -106,11 +106,17 @@ class ServingNode
      * @param now     Dispatch time (>= all prior finish times).
      * @param batch   The query wrapped as a singleton micro-batch.
      * @param lookups Per-feature row ids the query reads.
+     * @param prefix  Optional per-feature lookup-count limits: a
+     *                degraded query executes only the CSR prefix
+     *                of its kept ranking candidates (see
+     *                ShardServer::execute). Null serves fully.
      */
     NodeDispatch
     dispatchNext(double now, const MicroBatch &batch,
                  const std::vector<std::vector<std::uint64_t>>
-                     &lookups);
+                     &lookups,
+                 const std::vector<std::uint32_t> *prefix =
+                     nullptr);
 
     /** Head-of-line pending query id (requires hasPending()). */
     std::uint64_t frontPending() const;

@@ -63,7 +63,8 @@ serveTrace(const SyntheticDataset &data, const ShardingPlan &plan,
         metrics.recordTraffic(done.hbmAccesses, done.uvmAccesses,
                               done.cacheHits);
         for (const Query &q : batch.queries)
-            metrics.recordQuery(q.arrival, done.finishTime);
+            metrics.recordQuery(q.arrival, done.finishTime,
+                                q.samples);
     }
 
     double busy = 0.0;

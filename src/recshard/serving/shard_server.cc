@@ -31,11 +31,15 @@ ShardServer::ShardServer(std::uint32_t gpu, const ModelSpec &model_,
 BatchExecution
 ShardServer::execute(
     const MicroBatch &batch,
-    const std::vector<std::vector<std::uint64_t>> &lookups)
+    const std::vector<std::vector<std::uint64_t>> &lookups,
+    const std::vector<std::uint32_t> *prefix)
 {
     panic_if(lookups.size() != model.features.size(),
              "batch carries ", lookups.size(), " lookup lists for ",
              model.features.size(), " features");
+    panic_if(prefix && prefix->size() != lookups.size(),
+             "batch carries ", prefix->size(),
+             " lookup limits for ", lookups.size(), " features");
     BatchExecution exec;
     exec.batchId = batch.id;
     exec.readyTime = batch.closeTime;
@@ -47,7 +51,13 @@ ShardServer::execute(
         const std::uint64_t row_bytes = model.features[j].rowBytes();
         std::uint64_t fast = 0; // HBM-speed: pinned rows + cache hits
         std::uint64_t slow = 0;
-        for (const std::uint64_t idx : lookups[j]) {
+        const std::size_t end =
+            prefix ? (*prefix)[j] : lookups[j].size();
+        panic_if(end > lookups[j].size(), "feature ", j,
+                 " limited to ", end, " of ", lookups[j].size(),
+                 " lookups");
+        for (std::size_t i = 0; i < end; ++i) {
+            const std::uint64_t idx = lookups[j][i];
             if (res.inHbm(idx)) {
                 ++fast;
                 ++exec.hbmAccesses;
@@ -87,12 +97,14 @@ ShardServerPool::ShardServerPool(
 BatchCompletion
 ShardServerPool::executeOne(
     const MicroBatch &batch,
-    const std::vector<std::vector<std::uint64_t>> &lookups)
+    const std::vector<std::vector<std::uint64_t>> &lookups,
+    const std::vector<std::uint32_t> *prefix)
 {
     BatchCompletion c;
     c.batchId = batch.id;
     for (ShardServer &server : fleet) {
-        const BatchExecution e = server.execute(batch, lookups);
+        const BatchExecution e =
+            server.execute(batch, lookups, prefix);
         c.finishTime = std::max(c.finishTime, e.finishTime);
         c.hbmAccesses += e.hbmAccesses;
         c.uvmAccesses += e.uvmAccesses;

@@ -103,10 +103,16 @@ class ShardServer
      * @param lookups Per-feature row ids the batch reads (the
      *                trace's lookups[b]); only this GPU's features
      *                are touched.
+     * @param prefix  Optional per-feature lookup-count limits:
+     *                only lookups[j][0 .. prefix[j]) execute —
+     *                how degraded-mode serving (overload/) trims a
+     *                query to its kept ranking candidates without
+     *                copying the trace. Null executes everything.
      */
     BatchExecution
     execute(const MicroBatch &batch,
-            const std::vector<std::vector<std::uint64_t>> &lookups);
+            const std::vector<std::vector<std::uint64_t>> &lookups,
+            const std::vector<std::uint32_t> *prefix = nullptr);
 
     std::uint32_t gpu() const { return gpuV; }
     /** Tables this shard owns. */
@@ -174,12 +180,16 @@ class ShardServerPool
      *
      * @param batch   Sealed batch (timing metadata).
      * @param lookups Per-feature row ids the batch reads.
+     * @param prefix  Optional per-feature lookup-count limits
+     *                (degraded-mode serving; see
+     *                ShardServer::execute).
      * @return The all-GPU completion (slowest shard's finish).
      */
     BatchCompletion
     executeOne(const MicroBatch &batch,
                const std::vector<std::vector<std::uint64_t>>
-                   &lookups);
+                   &lookups,
+               const std::vector<std::uint32_t> *prefix = nullptr);
 
     /** Summed busy (service) seconds across the fleet. */
     double busySeconds() const;

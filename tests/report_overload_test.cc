@@ -1,0 +1,100 @@
+/**
+ * @file
+ * End-to-end coverage for the report harness's overload comparison
+ * (report/experiment.hh, evaluateOverload): the bench reimplements
+ * the sweep for its tiny-model speed, so this is the path that
+ * keeps the harness API honest — it must build an RM cluster,
+ * measure saturation, derive the admission bound and degrade
+ * backstop, and produce conservation-clean reports for every
+ * (mode, multiplier) cell. Runs at a very small scale: the point
+ * is the plumbing, not the headline (bench_overload_control
+ * enforces that).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "recshard/report/experiment.hh"
+
+namespace {
+
+using namespace recshard;
+
+ExperimentConfig
+tinyConfig()
+{
+    ExperimentConfig cfg;
+    // Small but not tiny: the paper system's UVM capacity scales
+    // with `scale`, and each node parks its foreign slices wholly
+    // in UVM, so too aggressive a shrink overflows validation.
+    cfg.scale = 1.0 / 64.0;
+    cfg.gpus = 4;
+    cfg.profileSamples = 4000;
+    cfg.seed = 5;
+    cfg.noCache = true;
+    return cfg;
+}
+
+TEST(ReportOverload, EvaluateOverloadComparesThreeModes)
+{
+    RoutingPhaseOptions routing;
+    routing.numNodes = 2;
+    routing.numQueries = 400;
+    routing.load.qps = 50000.0;
+    routing.load.seed = 17;
+    routing.router.server.cacheRows = 100;
+    routing.router.slaSeconds = 0.002;
+
+    const OverloadEvaluation eval =
+        evaluateOverload(tinyConfig(), "rm1", routing);
+
+    EXPECT_GT(eval.saturationQps, 0.0);
+    EXPECT_GT(eval.meanServiceSeconds, 0.0);
+    ASSERT_EQ(eval.modes,
+              (std::vector<std::string>{"admit-all", "reject",
+                                        "degrade"}));
+    ASSERT_EQ(eval.loadMultipliers,
+              (std::vector<double>{1.0, 1.5, 2.5}));
+    ASSERT_EQ(eval.reports.size(), 3u);
+
+    for (std::size_t m = 0; m < eval.reports.size(); ++m) {
+        ASSERT_EQ(eval.reports[m].size(), 3u);
+        for (const RoutingReport &r : eval.reports[m]) {
+            SCOPED_TRACE(eval.modes[m] + " / " + r.name);
+            // Every cell replays the full trace and conserves it.
+            EXPECT_EQ(r.queries, routing.numQueries);
+            EXPECT_EQ(r.fullQueries + r.degradedQueries +
+                          r.shedQueries,
+                      r.queries);
+            EXPECT_EQ(r.servedQueries,
+                      r.fullQueries + r.degradedQueries);
+        }
+    }
+
+    // Mode wiring: admit-all is uncontrolled; reject got the
+    // SLA-derived queue-threshold bound; degrade adds the tiers
+    // and the backstop on top of the same controller.
+    const RoutingReport &aa = eval.at("admit-all", 2.5);
+    EXPECT_EQ(aa.admission, "admit-all");
+    EXPECT_FALSE(aa.degradation);
+    EXPECT_EQ(aa.servedQueries, aa.queries);
+
+    const RoutingReport &rj = eval.at("reject", 2.5);
+    EXPECT_EQ(rj.admission, "queue-threshold");
+    EXPECT_FALSE(rj.degradation);
+    EXPECT_GT(rj.shedQueries, 0u);
+
+    // Recomputed multiplier: at() must tolerate ULP differences.
+    const RoutingReport &dg = eval.at("degrade", 5.0 * 0.5);
+    EXPECT_EQ(dg.admission, "queue-threshold");
+    EXPECT_TRUE(dg.degradation);
+    EXPECT_NE(dg.name.find("+degrade"), std::string::npos);
+    // Deep overload with tiers armed: fidelity gave way somewhere.
+    EXPECT_GT(dg.degradedQueries, 0u);
+    EXPECT_LT(dg.candidateFraction, 1.0);
+
+    EXPECT_DEATH(eval.at("degrade", 9.0), "no overload report");
+}
+
+} // namespace

@@ -202,6 +202,98 @@ TEST(LruRowCache, DisabledCacheNeverHits)
     EXPECT_EQ(cache.size(), 0u);
 }
 
+// ------------------------------------- served/shed metrics split
+
+TEST(ServingMetrics, PercentilesCoverServedQueriesOnly)
+{
+    // Regression pin for the served/shed split: latency statistics
+    // must be computed over the *served* population. Folding shed
+    // (rejected/canceled) queries into the denominator — as the
+    // pre-split accounting did by reporting violations over
+    // r.queries — understates the violation rate exactly when
+    // admission control is active.
+    ServingMetrics m;
+    m.recordQuery(0.000, 0.001, 4); // 1 ms
+    m.recordQuery(0.000, 0.002, 4); // 2 ms
+    m.recordQuery(0.000, 0.003, 4); // 3 ms
+    m.recordQuery(0.000, 0.004, 4); // 4 ms
+    for (int i = 0; i < 6; ++i)
+        m.recordShed(0.001 * i, 2);
+
+    const ServingReport r = m.report("pin", 0.0025, 1, 0.0);
+    EXPECT_EQ(r.queries, 10u); // offered = served + shed
+    EXPECT_EQ(r.servedQueries, 4u);
+    EXPECT_EQ(r.shedQueries, 6u);
+    EXPECT_DOUBLE_EQ(r.shedRate, 0.6);
+
+    // Percentiles over the four served latencies only.
+    EXPECT_DOUBLE_EQ(r.p50Latency, 0.0025);
+    EXPECT_DOUBLE_EQ(r.maxLatency, 0.004);
+    EXPECT_DOUBLE_EQ(r.meanLatency, 0.0025);
+    // Two of the four *served* queries violate the 2.5 ms SLA: the
+    // rate is 0.5, not the 0.2 a mixed-population denominator
+    // would report.
+    EXPECT_DOUBLE_EQ(r.slaViolationRate, 0.5);
+    EXPECT_EQ(r.goodQueries, 2u);
+
+    // The offered window spans the shed arrivals too.
+    EXPECT_DOUBLE_EQ(r.durationSeconds, 0.005);
+    EXPECT_DOUBLE_EQ(r.qps, 4.0 / 0.005);
+    EXPECT_DOUBLE_EQ(r.goodput, 2.0 / 0.005);
+
+    // Quality ledger: shed queries serve none of their candidates.
+    EXPECT_EQ(r.offeredCandidates, 28u);
+    EXPECT_EQ(r.servedCandidates, 16u);
+    EXPECT_DOUBLE_EQ(r.candidateFraction, 16.0 / 28.0);
+}
+
+TEST(ServingMetrics, DegradedQueriesCountServedCandidates)
+{
+    ServingMetrics m;
+    m.recordQuery(0.0, 0.001, 8, 2); // degraded: 2 of 8 served
+    m.recordQuery(0.0, 0.002, 8);    // full fidelity
+    const ServingReport r = m.report("degraded", 0.010, 1, 0.0);
+    EXPECT_EQ(r.offeredCandidates, 16u);
+    EXPECT_EQ(r.servedCandidates, 10u);
+    EXPECT_DOUBLE_EQ(r.candidateFraction, 10.0 / 16.0);
+    // Serving more candidates than offered is a bookkeeping bug.
+    EXPECT_DEATH(m.recordQuery(0.0, 0.001, 4, 5), "candidates");
+}
+
+TEST(ServingMetrics, ShedOnlyTraceHasNoLatencyPopulation)
+{
+    ServingMetrics m;
+    m.recordShed(0.000);
+    m.recordShed(0.002);
+    m.recordShed(0.010);
+    const ServingReport r = m.report("all-shed", 0.001, 1, 0.0);
+    EXPECT_EQ(r.queries, 3u);
+    EXPECT_EQ(r.servedQueries, 0u);
+    EXPECT_DOUBLE_EQ(r.shedRate, 1.0);
+    // No served population: every latency statistic stays at its
+    // well-defined zero instead of a garbage percentile.
+    EXPECT_DOUBLE_EQ(r.p50Latency, 0.0);
+    EXPECT_DOUBLE_EQ(r.p99Latency, 0.0);
+    EXPECT_DOUBLE_EQ(r.maxLatency, 0.0);
+    EXPECT_DOUBLE_EQ(r.slaViolationRate, 0.0);
+    EXPECT_DOUBLE_EQ(r.qps, 0.0);
+    // The offered window is still real.
+    EXPECT_DOUBLE_EQ(r.durationSeconds, 0.010);
+    EXPECT_EQ(r.maxQueueDepth, 0u);
+}
+
+TEST(ServingMetrics, ShedQueriesNeverOccupyTheQueue)
+{
+    ServingMetrics m;
+    m.recordQuery(0.000, 0.010); // in flight the whole window
+    m.recordShed(0.002);
+    m.recordShed(0.004);
+    const ServingReport r = m.report("depth", 0.1, 1, 0.0);
+    // Sheds widen the window but never add queue depth.
+    EXPECT_EQ(r.maxQueueDepth, 1u);
+    EXPECT_DOUBLE_EQ(r.meanQueueDepth, 1.0);
+}
+
 // ------------------------------------------- end-to-end evaluation
 
 /** Shared capacity-constrained fixture: HBM holds ~1/5 of the
