@@ -3,15 +3,24 @@
  * Fig. 9 reproduction: percent change in average pooling factor
  * over a 20-month window for user vs content features, measured
  * from the generated data stream (not just the drift model).
+ *
+ * With --emit-trace the bench instead materializes the drifting
+ * access stream itself — month advancing across the queries, hot
+ * sets rotating at --churn per month — and writes it in the
+ * Router's binary trace format, for replay by
+ * `bench_replan_drift --trace` (same machine only).
  */
 
+#include <fstream>
 #include <iostream>
 
+#include "recshard/base/logging.hh"
 #include "recshard/base/stats.hh"
 #include "recshard/base/table.hh"
 #include "recshard/datagen/model_zoo.hh"
 #include "recshard/profiler/profiler.hh"
 #include "recshard/report/experiment.hh"
+#include "recshard/routing/trace.hh"
 
 using namespace recshard;
 
@@ -20,12 +29,57 @@ main(int argc, char **argv)
 {
     FlagSet flags("bench_fig09_drift");
     ExperimentConfig::addFlags(flags);
+    flags.addString("emit-trace", "",
+                    "write the drifting access stream to this file "
+                    "(routed-trace binary format) instead of "
+                    "running the Fig. 9 sweep");
+    flags.addDouble("churn", 0.02,
+                    "emit-trace: DriftModel hotChurnPerMonth");
+    flags.addInt("trace-months", 12,
+                 "emit-trace: months the stream sweeps");
+    flags.addInt("trace-queries", 20000,
+                 "emit-trace: queries to materialize");
+    flags.addDouble("qps", 20000.0,
+                    "emit-trace: Poisson arrival rate");
+    flags.addDouble("mean-samples", 8,
+                    "emit-trace: mean ranking candidates per query");
     flags.parse(argc, argv);
     ExperimentConfig cfg = ExperimentConfig::fromFlags(flags);
     // Drift needs per-month profiling; a reduced feature count
     // keeps the sweep fast while averaging over both kinds.
     const ModelSpec model = makeTinyModel(40, 8000, cfg.seed);
     SyntheticDataset data(model, cfg.seed + 1);
+
+    const std::string trace_path = flags.getString("emit-trace");
+    if (!trace_path.empty()) {
+        DriftModel drift;
+        drift.hotChurnPerMonth = flags.getDouble("churn");
+        data.setDrift(drift);
+        LoadConfig load;
+        load.qps = flags.getDouble("qps");
+        load.meanQuerySamples = flags.getDouble("mean-samples");
+        load.seed = cfg.seed ^ 0x60157ULL;
+        DriftTraceSchedule schedule;
+        schedule.months = static_cast<std::uint32_t>(
+            flags.getInt("trace-months"));
+        const RoutedTrace trace = materializeDriftingRoutedTrace(
+            data, load,
+            static_cast<std::uint64_t>(
+                flags.getInt("trace-queries")),
+            schedule);
+        std::ofstream out(trace_path, std::ios::binary);
+        fatal_if(!out, "cannot open '", trace_path,
+                 "' for writing");
+        writeRoutedTrace(out, trace);
+        out.close();
+        fatal_if(!out, "trace write to '", trace_path, "' failed");
+        std::cout << "wrote " << trace.queries.size()
+                  << " drifting queries (" << schedule.months
+                  << " months, churn "
+                  << fmtDouble(drift.hotChurnPerMonth, 3)
+                  << "/month) to " << trace_path << "\n";
+        return 0;
+    }
 
     auto mean_pool_by_kind = [&](std::uint32_t month) {
         data.setMonth(month);

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Live replanning vs. a static plan under popularity drift.
+ *
+ * The question phase 5 cannot answer: the cluster's plans were
+ * solved against a planning-time snapshot of row popularity — what
+ * happens when the catalog churns out from under them? This bench
+ * serves one *drifting* trace (the dataset's month advances across
+ * the stream, rotating each table's hot set) twice through the
+ * LiveReplanServer: once with the feedback loop disabled (the
+ * static baseline every earlier phase models) and once enabled
+ * (sketch -> drift trigger -> planner -> zero-downtime migration).
+ * Identical trace, identical initial plans; every difference is the
+ * loop.
+ *
+ * Enforced headline (non-zero exit on violation):
+ *
+ *   - at least one replan completes (the comparison is non-vacuous),
+ *   - live-replan p99 <= static-plan p99 on the same trace,
+ *   - zero queries shed while a migration was in flight, and
+ *   - every completed epoch overlapping a migration keeps goodput
+ *     >= --goodput-floor x the pre-migration epoch mean (migration
+ *     steps ride idle gaps; they must not dent the serving floor).
+ *
+ * With --trace the drifting stream is read from a file written by
+ * `bench_fig09_drift --emit-trace` (same-machine binary format)
+ * instead of being generated in-process.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "recshard/base/flags.hh"
+#include "recshard/base/logging.hh"
+#include "recshard/base/table.hh"
+#include "recshard/base/units.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/replan/live.hh"
+#include "recshard/routing/router.hh"
+#include "recshard/serving/cache_admission.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_replan_drift");
+    flags.addInt("features", 12, "sparse features in the model");
+    flags.addInt("rows", 20000, "EMB rows per feature (pre-skew)");
+    flags.addInt("dim", 128, "embedding dimension");
+    flags.addDouble("zipf-alpha", 1.2,
+                    "row-popularity skew applied to every table");
+    flags.addInt("nodes", 3, "serving nodes behind the router");
+    flags.addInt("gpus", 2, "GPUs per serving node");
+    flags.addDouble("hbm-frac", 0.2,
+                    "fraction of the model one node's HBM holds");
+    flags.addInt("queries", 20000, "queries in the drifting trace");
+    flags.addDouble("mean-samples", 8,
+                    "mean ranking candidates per query");
+    flags.addInt("cache-rows", 0,
+                 "per-GPU LRU hot-row cache rows (default off: at "
+                 "this scale LRU absorption hides the churn the "
+                 "bench exists to measure)");
+    flags.addDouble("overhead-us", 1.0,
+                    "fixed per-query kernel overhead, us");
+    flags.addDouble("sla-ms", 1.0, "latency SLA, ms");
+    flags.addDouble("load-fraction", 0.65,
+                    "offered load as a fraction of the measured "
+                    "saturation rate (idle gaps host migration)");
+    flags.addDouble("churn", 0.05,
+                    "DriftModel hotChurnPerMonth: fraction of each "
+                    "table's value space the hot set rotates past "
+                    "per month");
+    flags.addInt("months", 12, "months the drifting trace sweeps");
+    flags.addInt("epoch-queries", 2000,
+                 "arrivals per drift-check epoch");
+    flags.addInt("max-replans", 6,
+                 "migrations the live run may launch");
+    flags.addDouble("hit-drop", 0.04,
+                    "pinned-hit-fraction drop that arms a replan "
+                    "assessment");
+    flags.addDouble("min-speedup", 1.02,
+                    "assessed incumbent/fresh cost ratio required "
+                    "to migrate");
+    flags.addInt("sketch-topk", 0,
+                 "exact hot-row candidates per table sketch; must "
+                 "exceed the per-table HBM row budget or the "
+                 "replacement plan pins synthetic tail rows. "
+                 "0 sizes it from the per-GPU HBM capacity");
+    flags.addInt("sketch-width", 0,
+                 "count-min counters per hash row; 0 = 4x topK");
+    flags.addInt("rows-per-step", 256,
+                 "rows repinned per migration step");
+    flags.addDouble("step-overhead-us", 20.0,
+                    "fixed per-migration-step overhead, us");
+    flags.addDouble("goodput-floor", 0.9,
+                    "minimum migration-epoch goodput as a fraction "
+                    "of the pre-migration epoch mean");
+    flags.addInt("max-outstanding", 0,
+                 "admission queue bound; 0 derives a generous one "
+                 "(4x the SLA bound) that only queue collapse hits");
+    flags.addString("trace", "",
+                    "read the drifting trace from this file "
+                    "(bench_fig09_drift --emit-trace) instead of "
+                    "generating it");
+    flags.addInt("profile-samples", 30000, "profiling samples");
+    flags.addInt("seed", 7, "model/data/load seed");
+    flags.parse(argc, argv);
+
+    const auto seed =
+        static_cast<std::uint64_t>(flags.getInt("seed"));
+    ModelSpec model = makeTinyModel(
+        static_cast<std::uint32_t>(flags.getInt("features")),
+        static_cast<std::uint64_t>(flags.getInt("rows")), seed);
+    for (auto &f : model.features) {
+        f.dim = static_cast<std::uint32_t>(flags.getInt("dim"));
+        // A drift-sensitive catalog: one raw value per hash row
+        // (no folding — folding flattens the slot distribution
+        // toward uniform, hiding churn) and a uniform strong skew,
+        // so the hot set is concentrated and its monthly rotation
+        // erodes the pinned overlap gradually instead of all at
+        // once.
+        f.cardinality = f.hashSize;
+        f.alpha = flags.getDouble("zipf-alpha");
+    }
+    SyntheticDataset data(model, seed * 2654435761ULL + 1);
+
+    SystemSpec system = SystemSpec::paper(
+        static_cast<std::uint32_t>(flags.getInt("gpus")), 1.0);
+    system.hbm.capacityBytes = static_cast<std::uint64_t>(
+        static_cast<double>(model.totalBytes()) *
+        flags.getDouble("hbm-frac") /
+        static_cast<double>(system.numGpus));
+    system.uvm.capacityBytes = model.totalBytes();
+
+    const auto profiles = profileDataset(
+        data,
+        static_cast<std::uint64_t>(flags.getInt("profile-samples")));
+
+    ClusterPlanOptions cp;
+    cp.numNodes =
+        static_cast<std::uint32_t>(flags.getInt("nodes"));
+    const RoutingCluster cluster =
+        buildRoutingCluster(model, profiles, system, cp);
+
+    {
+        TextTable p({"Node", "tables", "slice", "pinned",
+                     "pinned %", "declared HBM hit %"});
+        for (std::uint32_t n = 0; n < cluster.numNodes(); ++n) {
+            const ShardingPlan &plan = cluster.planSet.plans[n];
+            std::uint64_t slice_bytes = 0, pinned_bytes = 0;
+            double acc = 0.0, acc_n = 0.0;
+            for (const std::uint32_t j :
+                 cluster.planSet.slices[n]) {
+                const auto &f = model.features[j];
+                slice_bytes += f.hashSize * f.rowBytes();
+                pinned_bytes +=
+                    plan.tables[j].hbmRows * f.rowBytes();
+                acc += plan.tables[j].hbmAccessFraction;
+                acc_n += 1.0;
+            }
+            p.addRow({std::to_string(n),
+                      std::to_string(
+                          cluster.planSet.slices[n].size()),
+                      formatBytes(slice_bytes),
+                      formatBytes(pinned_bytes),
+                      fmtDouble(slice_bytes ? 100.0 * pinned_bytes /
+                                    slice_bytes : 0.0, 1),
+                      fmtDouble(acc_n ? 100.0 * acc / acc_n : 0.0,
+                                1)});
+        }
+        p.print(std::cout, "Initial per-node plans");
+        std::cout << "\n";
+    }
+
+    ReplanConfig rc;
+    rc.server.cacheRows =
+        static_cast<std::uint64_t>(flags.getInt("cache-rows"));
+    rc.server.batchOverheadSeconds =
+        flags.getDouble("overhead-us") / 1e6;
+    rc.server.admission.cdfs = collectCdfs(profiles);
+    rc.slaSeconds = flags.getDouble("sla-ms") / 1e3;
+    rc.sketch.topK =
+        static_cast<std::uint32_t>(flags.getInt("sketch-topk"));
+    if (rc.sketch.topK == 0) {
+        // The replacement plan can pin at most one GPU's HBM worth
+        // of any single table; track at least that many candidates
+        // exactly so no pin falls to a synthetic tail row.
+        std::uint64_t min_row_bytes = ~0ull;
+        for (const auto &f : model.features)
+            min_row_bytes = std::min(min_row_bytes, f.rowBytes());
+        const std::uint64_t budget_rows =
+            system.hbm.capacityBytes / min_row_bytes;
+        std::uint32_t k = 1024;
+        while (k < budget_rows && k < (1u << 20))
+            k *= 2;
+        rc.sketch.topK = k;
+    }
+    rc.sketch.width =
+        static_cast<std::uint32_t>(flags.getInt("sketch-width"));
+    if (rc.sketch.width == 0)
+        rc.sketch.width = 4 * rc.sketch.topK;
+    rc.drift.hitDropThreshold = flags.getDouble("hit-drop");
+    rc.drift.minSpeedup = flags.getDouble("min-speedup");
+    rc.migration.rowsPerStep = static_cast<std::uint64_t>(
+        flags.getInt("rows-per-step"));
+    rc.migration.stepOverheadSeconds =
+        flags.getDouble("step-overhead-us") / 1e6;
+    rc.epochQueries = static_cast<std::uint64_t>(
+        flags.getInt("epoch-queries"));
+    rc.maxReplans =
+        static_cast<std::uint32_t>(flags.getInt("max-replans"));
+
+    const auto num_queries =
+        static_cast<std::uint64_t>(flags.getInt("queries"));
+    LoadConfig load;
+    load.qps = 1000.0; // placeholder; saturation-relative below
+    load.meanQuerySamples = flags.getDouble("mean-samples");
+    load.seed = seed ^ 0x60157ULL;
+
+    // Measure saturation on the planning-time distribution, then
+    // offer load-fraction of it so nodes have idle gaps for
+    // migration steps to run in.
+    RouterConfig probe;
+    probe.policy = rc.policy;
+    probe.server = rc.server;
+    probe.slaSeconds = rc.slaSeconds;
+    probe.localityLoadPenalty = rc.localityLoadPenalty;
+    const double saturation_qps = estimateSaturationQps(
+        model, cluster, probe,
+        materializeRoutedTrace(data, load, num_queries));
+    const double mean_service =
+        static_cast<double>(cluster.numNodes()) / saturation_qps;
+
+    // A deliberately generous admission bound: at sub-saturation
+    // load it never fires, so the only thing that can shed is a
+    // migration engine stalling dispatch — exactly what the
+    // headline's zero-shed clause must catch.
+    auto &adm = rc.overload.admission;
+    adm.policy = "queue-threshold";
+    adm.maxOutstanding = static_cast<std::uint64_t>(
+        flags.getInt("max-outstanding"));
+    if (adm.maxOutstanding == 0)
+        adm.maxOutstanding = 4 *
+            deriveQueueBound(rc.slaSeconds, mean_service);
+
+    const double load_fraction = flags.getDouble("load-fraction");
+    fatal_if(load_fraction <= 0.0,
+             "--load-fraction must be positive");
+    load.qps = load_fraction * saturation_qps;
+
+    DriftTraceSchedule schedule;
+    schedule.months =
+        static_cast<std::uint32_t>(flags.getInt("months"));
+
+    RoutedTrace trace;
+    const std::string trace_path = flags.getString("trace");
+    if (!trace_path.empty()) {
+        std::ifstream in(trace_path, std::ios::binary);
+        fatal_if(!in, "cannot open trace file '", trace_path, "'");
+        trace = readRoutedTrace(in);
+        inform("loaded ", trace.queries.size(),
+               " queries from ", trace_path);
+    } else {
+        DriftModel drift;
+        drift.hotChurnPerMonth = flags.getDouble("churn");
+        data.setDrift(drift);
+        trace = materializeDriftingRoutedTrace(data, load,
+                                               num_queries,
+                                               schedule);
+    }
+
+    std::cout << "Model: " << formatBytes(model.totalBytes())
+              << " of EMBs; " << cp.numNodes << " nodes x "
+              << system.numGpus << " GPUs; measured saturation "
+              << fmtDouble(saturation_qps, 0) << " QPS; offered "
+              << fmtDouble(load.qps, 0) << " QPS ("
+              << fmtDouble(100 * load_fraction, 0)
+              << "% of saturation); SLA "
+              << formatSeconds(rc.slaSeconds) << "; churn "
+              << fmtDouble(flags.getDouble("churn"), 3)
+              << "/month over " << schedule.months << " months\n\n";
+
+    ReplanConfig static_rc = rc;
+    static_rc.replanEnabled = false;
+    const ReplanReport stat =
+        LiveReplanServer(model, cluster, static_rc).serve(trace);
+    rc.replanEnabled = true;
+    const ReplanReport live =
+        LiveReplanServer(model, cluster, rc).serve(trace);
+
+    TextTable t({"Run", "served %", "shed", "goodput", "p50", "p99",
+                 "UVM %", "replans", "steps", "rows moved",
+                 "mig time"});
+    for (const ReplanReport *r : {&stat, &live})
+        t.addRow({r->name,
+                  fmtDouble(100.0 * r->servedQueries / r->queries,
+                            1),
+                  std::to_string(r->shedQueries),
+                  fmtDouble(r->goodput, 0),
+                  formatSeconds(r->p50Latency),
+                  formatSeconds(r->p99Latency),
+                  fmtDouble(100 * r->uvmAccessFraction, 1),
+                  std::to_string(r->replansCompleted),
+                  std::to_string(r->migrationSteps),
+                  std::to_string(r->migratedRows),
+                  formatSeconds(r->migrationSeconds)});
+    t.print(std::cout, "Static plan vs. live replanning on one "
+                       "drifting trace");
+    std::cout << "\n";
+
+    TextTable e({"Epoch", "arrivals", "served", "shed", "goodput",
+                 "p99", "migrating"});
+    for (const ReplanEpochStats &ep : live.epochs)
+        e.addRow({std::to_string(ep.index),
+                  std::to_string(ep.arrivals),
+                  std::to_string(ep.served),
+                  std::to_string(ep.shed),
+                  fmtDouble(ep.goodput, 0),
+                  formatSeconds(ep.p99),
+                  ep.migrationActive ? "yes" : ""});
+    e.print(std::cout, "Live-replan epochs (drift checked at each "
+                       "boundary)");
+    std::cout << "\n";
+
+    // The enforced headline.
+    bool holds = true;
+    std::string verdict;
+
+    const bool nonvacuous = live.replansCompleted >= 1;
+    holds = holds && nonvacuous;
+    verdict += std::string("replans completed: ") +
+        std::to_string(live.replansCompleted) +
+        (nonvacuous ? " >= 1\n" : " < 1 (vacuous run)\n");
+
+    const bool p99_ok = live.p99Latency <= stat.p99Latency;
+    holds = holds && p99_ok;
+    verdict += std::string("p99 live ") +
+        formatSeconds(live.p99Latency) + (p99_ok ? " <= " : " > ") +
+        "static " + formatSeconds(stat.p99Latency) + "\n";
+
+    const bool noshed = live.shedDuringMigration == 0;
+    holds = holds && noshed;
+    verdict += std::string("shed during migration: ") +
+        std::to_string(live.shedDuringMigration) +
+        (noshed ? " == 0\n" : " != 0\n");
+
+    // Goodput floor: completed epochs that overlap a migration must
+    // hold goodput-floor x the mean of the epochs before the first
+    // migration (the run's own healthy reference).
+    const double floor_frac = flags.getDouble("goodput-floor");
+    double ref_sum = 0.0;
+    std::uint64_t ref_n = 0;
+    for (const ReplanEpochStats &ep : live.epochs) {
+        if (ep.migrationActive)
+            break;
+        ref_sum += ep.goodput;
+        ++ref_n;
+    }
+    const double reference = ref_n ? ref_sum / ref_n : 0.0;
+    bool floor_ok = true;
+    for (std::size_t i = 0; i < live.epochs.size(); ++i) {
+        const ReplanEpochStats &ep = live.epochs[i];
+        const bool completed = ep.arrivals >= rc.epochQueries;
+        if (!ep.migrationActive || !completed)
+            continue;
+        if (ep.goodput < floor_frac * reference) {
+            floor_ok = false;
+            verdict += std::string("epoch ") +
+                std::to_string(ep.index) + " goodput " +
+                fmtDouble(ep.goodput, 0) + " < " +
+                fmtDouble(floor_frac, 2) + " x reference " +
+                fmtDouble(reference, 0) + "\n";
+        }
+    }
+    holds = holds && floor_ok;
+    verdict += std::string("migration-epoch goodput floor (") +
+        fmtDouble(floor_frac, 2) + " x " + fmtDouble(reference, 0) +
+        "): " + (floor_ok ? "held" : "violated") + "\n";
+
+    std::cout << (holds ? "HEADLINE HOLDS" : "HEADLINE VIOLATED")
+              << ": >=1 replan completed, live p99 <= static p99, "
+                 "zero migration sheds, migration-epoch goodput "
+                 "floor held\n"
+              << verdict;
+    return holds ? 0 : 1;
+}

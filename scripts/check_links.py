@@ -8,6 +8,12 @@ External links (with a URL scheme) and pure in-page anchors are
 skipped; an anchor suffix on a relative link is stripped before the
 existence check.
 
+Also rejects machine-local absolute paths (/root/..., /home/...,
+/opt/...) anywhere in the checked docs — including inside code
+spans — since those reference files that only existed on the
+machine a doc was written on.  ISSUE.md and CHANGES.md are exempt
+from that check (they are working logs, not documentation).
+
 Run from anywhere:  python3 scripts/check_links.py
 """
 
@@ -22,6 +28,11 @@ REPO = Path(__file__).resolve().parent.parent
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
 INLINE_CODE = re.compile(r"`[^`]*`")
+
+# Paths that only resolve on one particular machine.  Docs must
+# describe the repo, not the box it was authored on.
+LOCAL_PATH = re.compile(r"(?:/root|/home|/opt)(?:/[\w.+-]+)+/?")
+LOCAL_PATH_EXEMPT = {"ISSUE.md", "CHANGES.md"}
 
 
 def doc_files():
@@ -44,19 +55,30 @@ def check(path: Path):
     return broken
 
 
+def check_local_paths(path: Path):
+    # Deliberately scans the raw text: machine-local paths hide in
+    # code spans just as often as in prose.
+    return LOCAL_PATH.findall(path.read_text(encoding="utf-8"))
+
+
 def main() -> int:
     failures = 0
     checked = 0
     for path in doc_files():
         checked += 1
+        rel = path.relative_to(REPO)
         for target, resolved in check(path):
             failures += 1
-            rel = path.relative_to(REPO)
             print(f"BROKEN {rel}: ({target}) -> {resolved}")
+        if path.name not in LOCAL_PATH_EXEMPT:
+            for hit in check_local_paths(path):
+                failures += 1
+                print(f"LOCAL-PATH {rel}: {hit}")
     if failures:
-        print(f"\n{failures} broken link(s) across {checked} files")
+        print(f"\n{failures} bad reference(s) across {checked} files")
         return 1
-    print(f"OK: no broken relative links in {checked} markdown files")
+    print(f"OK: no broken or machine-local references in "
+          f"{checked} markdown files")
     return 0
 
 

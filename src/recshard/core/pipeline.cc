@@ -125,6 +125,33 @@ RecShardPipeline::run() const
             Router(data.spec(), cluster, rc).route(trace);
         result.routingSeconds = secondsSince(t0);
     }
+
+    // Phase 6 (optional): the same cluster shape under a drifting
+    // trace with the replanning feedback loop closed (replan/).
+    if (opts.evaluateReplanning) {
+        t0 = Clock::now();
+        ClusterPlanOptions cp;
+        cp.numNodes = opts.replanning.numNodes;
+        cp.nodeSpecs = opts.replanning.nodeSpecs;
+        cp.plannerName = opts.replanning.plannerName;
+        cp.solver = opts.solver;
+        cp.milp = opts.milp;
+        const RoutingCluster cluster = buildRoutingCluster(
+            data.spec(), result.profiles, sys, cp);
+        // The pipeline's dataset is shared and const; the drifting
+        // trace sweeps months on a copy (cheap: spec + seed).
+        SyntheticDataset drifting = data;
+        const RoutedTrace trace = materializeDriftingRoutedTrace(
+            drifting, opts.replanning.load,
+            opts.replanning.numQueries, opts.replanning.schedule);
+        ReplanConfig rc = opts.replanning.replan;
+        if (rc.server.admission.cdfs.empty())
+            rc.server.admission.cdfs =
+                collectCdfs(result.profiles);
+        result.replan = LiveReplanServer(data.spec(), cluster, rc)
+                            .serve(trace);
+        result.replanSeconds = secondsSince(t0);
+    }
     return result;
 }
 

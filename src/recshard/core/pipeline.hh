@@ -34,6 +34,14 @@
  * meaningful past cluster saturation. Enable it with
  * PipelineOptions::evaluateRouting; the report lands in
  * PipelineResult::routing.
+ *
+ * Replanning (phase 6, optional): the closed loop over phase 5.
+ * The same cluster serves a *drifting* trace (the dataset's month
+ * advances across the stream) while per-node streaming sketches,
+ * a drift detector, and a zero-downtime migration engine keep each
+ * node's plan matched to the live distribution (replan/). Enable
+ * it with PipelineOptions::evaluateReplanning; the report lands in
+ * PipelineResult::replan.
  */
 
 #ifndef RECSHARD_CORE_PIPELINE_HH
@@ -45,6 +53,7 @@
 #include "recshard/engine/execution.hh"
 #include "recshard/planner/planner.hh"
 #include "recshard/profiler/profiler.hh"
+#include "recshard/replan/live.hh"
 #include "recshard/routing/router.hh"
 #include "recshard/serving/serving.hh"
 
@@ -66,6 +75,27 @@ struct RoutingPhaseOptions
     std::uint64_t numQueries = 2000;
     /** Policy, hedging, and per-node server knobs. */
     RouterConfig router;
+};
+
+/** Phase 6 controls: live replanning under a drifting trace. */
+struct ReplanPhaseOptions
+{
+    /** Serving nodes (homogeneous: each gets the pipeline's
+     *  SystemSpec). Ignored when nodeSpecs is set. */
+    std::uint32_t numNodes = 3;
+    /** Heterogeneous clusters: one SystemSpec per node. */
+    std::vector<SystemSpec> nodeSpecs;
+    /** Planner (registry name) solving each node's initial slice. */
+    std::string plannerName = "recshard";
+    /** Arrival process for the drifting query trace. */
+    LoadConfig load;
+    /** Queries to generate and serve. */
+    std::uint64_t numQueries = 6000;
+    /** Months the trace sweeps (needs a dataset whose DriftModel
+     *  has nonzero hotChurnPerMonth for popularity to move). */
+    DriftTraceSchedule schedule;
+    /** The feedback loop's knobs (sketch, drift, migration). */
+    ReplanConfig replan;
 };
 
 /** Pipeline controls. */
@@ -95,6 +125,9 @@ struct PipelineOptions
     /** Run the optional multi-node routing phase. */
     bool evaluateRouting = false;
     RoutingPhaseOptions routing;
+    /** Run the optional live-replanning phase. */
+    bool evaluateReplanning = false;
+    ReplanPhaseOptions replanning;
 
     /** Phase-2 planner after the deprecation shim resolves. */
     std::string effectivePlannerName() const
@@ -120,11 +153,15 @@ struct PipelineResult
     /** Phase 5 (only when requested): the multi-node cluster under
      *  routed load. */
     RoutingReport routing;
+    /** Phase 6 (only when requested): the cluster under drifting
+     *  load with the replanning loop closed. */
+    ReplanReport replan;
     double profileSeconds = 0.0;
     double solveSeconds = 0.0;
     double remapSeconds = 0.0;
     double servingSeconds = 0.0;
     double routingSeconds = 0.0;
+    double replanSeconds = 0.0;
 };
 
 /** One-call RecShard pipeline over a synthetic data stream. */

@@ -28,6 +28,18 @@ DriftModel::multiplier(FeatureKind kind, std::uint32_t month) const
         wiggleAmplitude * std::sin(0.9 * month + phase);
 }
 
+std::uint64_t
+DriftModel::valueShift(std::uint32_t month,
+                       std::uint64_t cardinality) const
+{
+    if (hotChurnPerMonth <= 0.0 || month == 0 || cardinality == 0)
+        return 0;
+    const double raw = hotChurnPerMonth *
+        static_cast<double>(month) *
+        static_cast<double>(cardinality);
+    return static_cast<std::uint64_t>(raw) % cardinality;
+}
+
 SyntheticDataset::SyntheticDataset(ModelSpec spec_, std::uint64_t seed_)
     : model(std::move(spec_)), seed(seed_)
 {
@@ -54,6 +66,11 @@ SyntheticDataset::featureBatch(std::uint32_t feature,
     const PoolingDist pooling(drifted_pool, f.poolSigma, f.maxPool);
     const ZipfSampler zipf(f.cardinality, f.alpha);
     const FeatureHasher hasher(f.hashSize, f.hashSalt);
+    // Popularity churn: rotate the raw value space so the hot ranks
+    // land on new values as months pass ((v + 0) % n == v, so zero
+    // churn is bit-identical to the historical stream).
+    const std::uint64_t shift =
+        driftV.valueShift(monthV, f.cardinality);
 
     FeatureBatch batch;
     batch.offsets.reserve(batch_size + 1);
@@ -64,7 +81,8 @@ SyntheticDataset::featureBatch(std::uint32_t feature,
         if (rng.bernoulli(f.coverage)) {
             const std::uint32_t pool = pooling(rng);
             for (std::uint32_t k = 0; k < pool; ++k)
-                batch.indices.push_back(hasher(zipf(rng)));
+                batch.indices.push_back(hasher(
+                    (zipf(rng) + shift) % f.cardinality));
         }
         batch.offsets.push_back(
             static_cast<std::uint32_t>(batch.indices.size()));

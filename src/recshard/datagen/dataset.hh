@@ -65,9 +65,30 @@ struct DriftModel
     double userSlopePerMonth = 0.0050;
     double contentSlopePerMonth = 0.0022;
     double wiggleAmplitude = 0.012;
+    /**
+     * Popularity churn: fraction of a feature's raw value space the
+     * Zipf ranking rotates per month, so *which* values are hot
+     * shifts gradually even though the rank-frequency shape stays
+     * fixed. 0 (the default) keeps the historical behavior — the
+     * hot set is month-stable and only pooling volume drifts —
+     * which is what makes a static plan near-optimal forever; the
+     * replan benches opt in to nonzero churn to model the
+     * hot-set turnover of production catalogs.
+     */
+    double hotChurnPerMonth = 0.0;
 
     /** Multiplier applied to a feature's mean pooling factor. */
     double multiplier(FeatureKind kind, std::uint32_t month) const;
+
+    /**
+     * Raw-value rotation applied before hashing for a feature of
+     * the given cardinality at `month`: value v is drawn as
+     * (v + shift) % cardinality, so rank-k hotness moves to a new
+     * value once the cumulative shift passes k. Always 0 when
+     * hotChurnPerMonth is 0 or month is 0.
+     */
+    std::uint64_t valueShift(std::uint32_t month,
+                             std::uint64_t cardinality) const;
 };
 
 /** Deterministic synthetic data stream for one model. */

@@ -139,4 +139,42 @@ TierResolver::split(const FrequencyCdf &cdf, std::uint64_t hbm_rows,
     return r;
 }
 
+TierResolver
+TierResolver::fromBits(std::vector<bool> hot_bits)
+{
+    TierResolver r;
+    r.mode = Mode::Split;
+    r.hot = std::move(hot_bits);
+    return r;
+}
+
+void
+TierResolver::setHbm(std::uint64_t row, bool in_hbm)
+{
+    fatal_if(mode != Mode::Split,
+             "setHbm on a whole-table resolver; materialize it "
+             "with fromBits() first");
+    panic_if(row >= hot.size(), "row ", row,
+             " outside resolver of ", hot.size(), " rows");
+    hot[row] = in_hbm;
+}
+
+std::uint64_t
+TierResolver::pinnedRows(std::uint64_t hash_size) const
+{
+    switch (mode) {
+      case Mode::AllHbm:
+        return hash_size;
+      case Mode::AllUvm:
+        return 0;
+      default:
+        panic_if(hot.size() != hash_size, "resolver covers ",
+                 hot.size(), " rows, asked about ", hash_size);
+        std::uint64_t pinned = 0;
+        for (std::uint64_t row = 0; row < hot.size(); ++row)
+            pinned += hot[row];
+        return pinned;
+    }
+}
+
 } // namespace recshard

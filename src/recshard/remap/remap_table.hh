@@ -101,6 +101,25 @@ class TierResolver
                               std::uint64_t hbm_rows,
                               std::uint64_t hash_size);
 
+    /**
+     * Mutable split resolver from an explicit pin bitset. Live
+     * migration (replan/migration.hh) materializes a table's
+     * current membership this way so individual rows can be
+     * repinned in place while servers keep resolving through the
+     * same object — the double-buffered handoff's visible side.
+     */
+    static TierResolver fromBits(std::vector<bool> hot);
+
+    /**
+     * Repin one row (Split mode only — materialize an AllHbm /
+     * AllUvm resolver through fromBits() first). Visible to every
+     * borrower on the next inHbm() call.
+     */
+    void setHbm(std::uint64_t row, bool in_hbm);
+
+    /** Pinned rows under this resolver (O(hash_size) for Split). */
+    std::uint64_t pinnedRows(std::uint64_t hash_size) const;
+
     /** Does this row live in HBM? */
     bool
     inHbm(std::uint64_t row) const

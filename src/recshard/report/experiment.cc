@@ -590,6 +590,74 @@ evaluateOverload(const ExperimentConfig &cfg,
     return eval;
 }
 
+ReplanEvaluation
+evaluateReplan(const ExperimentConfig &cfg,
+               const std::string &model_name,
+               const ReplanPhaseOptions &options,
+               const DriftModel &drift, double load_fraction)
+{
+    fatal_if(load_fraction <= 0.0,
+             "replan load fraction must be positive");
+    const std::size_t nodes = options.nodeSpecs.empty()
+        ? options.numNodes : options.nodeSpecs.size();
+    inform("replanning ", model_name, " at scale ", cfg.scale,
+           " across ", nodes, " nodes over ",
+           options.schedule.months, " months...");
+    const PreparedModel prep = prepareModel(cfg, model_name);
+
+    ClusterPlanOptions cp;
+    cp.numNodes = options.numNodes;
+    cp.nodeSpecs = options.nodeSpecs;
+    cp.plannerName = options.plannerName;
+    cp.solver.batchSize = cfg.batch;
+    const RoutingCluster cluster = buildRoutingCluster(
+        prep.model, prep.profiles, prep.sys, cp);
+
+    ReplanConfig rc = options.replan;
+    if (rc.server.admission.cdfs.empty())
+        rc.server.admission.cdfs = collectCdfs(prep.profiles);
+
+    ReplanEvaluation eval;
+    eval.modelName = model_name;
+
+    // Saturation probe on the *planning-time* distribution — the
+    // reference both runs' load is expressed against.
+    {
+        RouterConfig probe;
+        probe.policy = rc.policy;
+        probe.server = rc.server;
+        probe.slaSeconds = rc.slaSeconds;
+        probe.localityLoadPenalty = rc.localityLoadPenalty;
+        const RoutedTrace sample = materializeRoutedTrace(
+            prep.data, options.load, options.numQueries);
+        eval.saturationQps = estimateSaturationQps(
+            prep.model, cluster, probe, sample);
+    }
+
+    // One drifting trace, shared by both runs: month advances
+    // across the stream, so the hot rows the incumbent plans pinned
+    // gradually stop being the hot rows the queries touch.
+    LoadConfig load = options.load;
+    load.qps = load_fraction * eval.saturationQps;
+    eval.offeredQps = load.qps;
+    SyntheticDataset drifting = prep.data;
+    drifting.setDrift(drift);
+    const RoutedTrace trace = materializeDriftingRoutedTrace(
+        drifting, load, options.numQueries, options.schedule);
+
+    ReplanConfig static_rc = rc;
+    static_rc.replanEnabled = false;
+    eval.staticPlan =
+        LiveReplanServer(prep.model, cluster, static_rc)
+            .serve(trace);
+    ReplanConfig live_rc = rc;
+    live_rc.replanEnabled = true;
+    eval.liveReplan =
+        LiveReplanServer(prep.model, cluster, live_rc)
+            .serve(trace);
+    return eval;
+}
+
 namespace paper {
 
 const Table3Row kTable3[12] = {

@@ -188,6 +188,40 @@ evaluateOverload(const ExperimentConfig &config,
                  const std::vector<double> &load_multipliers =
                      {1.0, 1.5, 2.5});
 
+/** Static-plan vs. live-replanning comparison on one cluster. */
+struct ReplanEvaluation
+{
+    std::string modelName;
+    /** Measured cluster saturation arrival rate (queries/s). */
+    double saturationQps = 0.0;
+    /** Arrival rate the drifting trace was generated at. */
+    double offeredQps = 0.0;
+    /** The incumbent plans held fixed for the whole trace. */
+    ReplanReport staticPlan;
+    /** The same trace with the feedback loop closed. */
+    ReplanReport liveReplan;
+};
+
+/**
+ * The replanning comparison: solve one cluster from planning-time
+ * profiles, measure its saturation rate, then serve one *drifting*
+ * trace (popularity churns month by month under `drift`) twice
+ * through the LiveReplanServer — once with replanning disabled
+ * (static baseline) and once enabled. Identical trace, identical
+ * initial plans; every difference is attributable to the feedback
+ * loop. The trace is generated at `load_fraction` x saturation so
+ * nodes have idle gaps for migration steps to run in — at or past
+ * saturation there is no spare capacity to migrate with (or
+ * against: admission is what sheds there, not migration). Not
+ * disk-memoized, for the same reason evaluateServing is not.
+ */
+ReplanEvaluation
+evaluateReplan(const ExperimentConfig &config,
+               const std::string &model_name,
+               const ReplanPhaseOptions &options,
+               const DriftModel &drift,
+               double load_fraction = 0.65);
+
 /** The paper's headline numbers for side-by-side printing. */
 namespace paper {
 

@@ -59,8 +59,20 @@ class LatencyWindow
     /** Current contents (ring order, not age order). */
     const std::vector<double> &samples() const { return buf; }
 
-    /** Samples pushed over the window's lifetime. */
+    /** Samples pushed over the window's lifetime (resets included
+     *  — reset() zeroes it). */
     std::uint64_t pushed() const { return count; }
+
+    /**
+     * Forget every sample; capacity is preserved. Epoch-windowed
+     * consumers (replan/live.hh) reset at each epoch boundary so a
+     * quantile covers exactly one epoch's observations.
+     */
+    void reset()
+    {
+        buf.clear();
+        count = 0;
+    }
 
   private:
     std::uint64_t cap;

@@ -17,6 +17,7 @@
 #define RECSHARD_ROUTING_TRACE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "recshard/datagen/dataset.hh"
@@ -90,6 +91,43 @@ struct RoutedTrace
 RoutedTrace materializeRoutedTrace(const SyntheticDataset &data,
                                    const LoadConfig &load,
                                    std::uint64_t num_queries);
+
+/** How a drifting trace sweeps the dataset's synthetic months. */
+struct DriftTraceSchedule
+{
+    /** Month of the first query (0 = the planning-time month). */
+    std::uint32_t startMonth = 0;
+    /** Months spanned by the trace: query i is drawn at month
+     *  startMonth + i * months / num_queries, so popularity (under
+     *  a nonzero DriftModel::hotChurnPerMonth) churns gradually
+     *  across the stream. Must be >= 1. */
+    std::uint32_t months = 12;
+};
+
+/**
+ * Like materializeRoutedTrace(), but the dataset's month advances
+ * across the stream per `schedule` — the drift model the replan
+ * bench and bench_fig09_drift --emit-trace share. One continuous
+ * LoadGenerator produces the arrivals, so the arrival process is
+ * identical to the static trace's; only the lookups drift. The
+ * dataset's month is restored afterwards (hence non-const).
+ */
+RoutedTrace materializeDriftingRoutedTrace(
+    SyntheticDataset &data, const LoadConfig &load,
+    std::uint64_t num_queries, const DriftTraceSchedule &schedule);
+
+/**
+ * Serialize a trace in the Router's binary trace format ("RSRT1"):
+ * a host-endian snapshot for handing the *same* drifting stream
+ * from one tool to another on one machine (bench_fig09_drift
+ * --emit-trace -> bench_replan_drift / tests). Not an interchange
+ * format: no endianness or word-size translation is attempted.
+ */
+void writeRoutedTrace(std::ostream &out, const RoutedTrace &trace);
+
+/** Read a trace written by writeRoutedTrace(); fatal() on a bad
+ *  magic, truncation, or inconsistent CSR geometry. */
+RoutedTrace readRoutedTrace(std::istream &in);
 
 } // namespace recshard
 

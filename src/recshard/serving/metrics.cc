@@ -49,6 +49,21 @@ ServingMetrics::recordTraffic(std::uint64_t hbm_, std::uint64_t uvm_,
     cacheHitsV += cache_hits;
 }
 
+void
+ServingMetrics::reset()
+{
+    arrivals.clear();
+    completions.clear();
+    shedArrivals.clear();
+    batchesV = 0;
+    batchedQueries = 0;
+    hbm = 0;
+    uvm = 0;
+    cacheHitsV = 0;
+    offeredCand = 0;
+    servedCand = 0;
+}
+
 ServingReport
 ServingMetrics::report(const std::string &strategy,
                        double sla_seconds, std::uint32_t gpus,

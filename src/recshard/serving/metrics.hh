@@ -110,6 +110,14 @@ class ServingMetrics
                        std::uint64_t cache_hits);
 
     /**
+     * Drop every accumulated sample and counter, returning the
+     * collector to its freshly constructed state. Epoch-windowed
+     * consumers reduce with report(), then reset(), so each window
+     * (e.g. one migration epoch) gets independent percentiles.
+     */
+    void reset();
+
+    /**
      * Reduce to a report.
      *
      * @param strategy     Plan name for the report.

@@ -437,6 +437,26 @@ TEST(LatencyWindow, RejectsEmptyCapacity)
     EXPECT_DEATH(LatencyWindow(0), "empty");
 }
 
+TEST(LatencyWindow, ResetReturnsToFreshState)
+{
+    // Epoch windowing (replan/live.hh): reset at each epoch
+    // boundary so percentiles cover one epoch's completions only.
+    LatencyWindow w(4);
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        w.push(x);
+    w.reset();
+    EXPECT_EQ(w.pushed(), 0u);
+    EXPECT_TRUE(w.samples().empty());
+
+    // Post-reset samples never mix with pre-reset laps.
+    w.push(7.0);
+    w.push(9.0);
+    EXPECT_EQ(w.pushed(), 2u);
+    EXPECT_EQ(w.samples(), (std::vector<double>{7.0, 9.0}));
+    EXPECT_DOUBLE_EQ(w.quantile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(w.quantile(1.0), 9.0);
+}
+
 TEST(Hedging, RefreshIntervalIsValidated)
 {
     const RoutingFixture &fx = fixture();

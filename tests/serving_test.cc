@@ -247,6 +247,41 @@ TEST(ServingMetrics, PercentilesCoverServedQueriesOnly)
     EXPECT_DOUBLE_EQ(r.candidateFraction, 16.0 / 28.0);
 }
 
+TEST(ServingMetrics, ResetClearsEveryLedger)
+{
+    // Epoch accounting (replan/live.hh): reduce with report(),
+    // reset(), and the next window must look freshly constructed.
+    ServingMetrics m;
+    m.recordQuery(0.000, 0.001, 4);
+    m.recordQuery(0.000, 0.004, 4, 2);
+    m.recordShed(0.002, 3);
+    m.recordBatch(2);
+    m.recordTraffic(10, 5, 2);
+    m.reset();
+
+    ServingMetrics fresh;
+    const ServingReport after = m.report("reset", 0.002, 1, 0.0);
+    const ServingReport blank =
+        fresh.report("reset", 0.002, 1, 0.0);
+    EXPECT_EQ(after.queries, blank.queries);
+    EXPECT_EQ(after.servedQueries, blank.servedQueries);
+    EXPECT_EQ(after.shedQueries, blank.shedQueries);
+    EXPECT_EQ(after.offeredCandidates, blank.offeredCandidates);
+    EXPECT_EQ(after.servedCandidates, blank.servedCandidates);
+    EXPECT_EQ(after.hbmAccesses, blank.hbmAccesses);
+    EXPECT_EQ(after.uvmAccesses, blank.uvmAccesses);
+    EXPECT_EQ(after.cacheHits, blank.cacheHits);
+    EXPECT_EQ(after.batches, blank.batches);
+    EXPECT_DOUBLE_EQ(after.durationSeconds,
+                     blank.durationSeconds);
+
+    // And the collector is genuinely reusable, not just zeroed.
+    m.recordQuery(0.0, 0.001, 2);
+    const ServingReport reused = m.report("reset", 0.002, 1, 0.0);
+    EXPECT_EQ(reused.queries, 1u);
+    EXPECT_EQ(reused.servedQueries, 1u);
+}
+
 TEST(ServingMetrics, DegradedQueriesCountServedCandidates)
 {
     ServingMetrics m;
