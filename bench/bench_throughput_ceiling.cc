@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Real-threads throughput ceiling: how many embedding-row lookups
+ * per second the RealTimeExecutor sustains at saturation, and what
+ * the served-only p99 looks like while it does.
+ *
+ * This is the wall-clock counterpart of the DES serving benches:
+ * live mode pushes the trace open-loop (producers enqueue as fast
+ * as admission lets them), so the measured rate is the ceiling of
+ * the threaded hot path — MPSC queues, per-core node workers, the
+ * PR 5 contiguous-prefix CSR dispatch — not of any arrival
+ * process. Mirror-mode runs of the same trace (reported alongside)
+ * tie the measurement back to the deterministic twin: the ledger
+ * printed here is byte-comparable to the DES's.
+ *
+ * Exits non-zero when the sustained aggregate lookup rate falls
+ * below --floor-mlookups (default 1.0M/s), making it a CI gate
+ * against hot-path regressions. Worker/producer counts default to
+ * auto-detection (min(nodes, cores-1) workers), so the gate passes
+ * on 2-core runners and scales up on wider machines.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+
+#include "recshard/base/flags.hh"
+#include "recshard/base/table.hh"
+#include "recshard/base/units.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/routing/realtime.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_throughput_ceiling");
+    flags.addInt("features", 12, "sparse features in the model");
+    flags.addInt("rows", 20000, "EMB rows per feature (pre-skew)");
+    flags.addInt("dim", 128, "embedding dimension");
+    flags.addInt("nodes", 3, "serving nodes behind the ingest");
+    flags.addInt("gpus", 2, "GPUs per serving node");
+    flags.addDouble("hbm-frac", 0.2,
+                    "fraction of the model one node's HBM holds");
+    flags.addInt("queries", 50000, "queries pushed per run");
+    flags.addDouble("mean-samples", 4,
+                    "mean ranking candidates per query");
+    flags.addInt("cache-rows", 500,
+                 "per-GPU LRU hot-row cache rows");
+    flags.addDouble("overhead-us", 5.0,
+                    "fixed per-query kernel overhead, us");
+    flags.addDouble("sla-ms", 1.0, "latency SLA, ms");
+    flags.addInt("workers", 0,
+                 "node worker threads (0 = auto-detect)");
+    flags.addInt("producers", 0,
+                 "ingest threads (0 = auto-detect)");
+    flags.addInt("max-outstanding", 64,
+                 "per-node admission bound in live mode");
+    flags.addInt("repeats", 3,
+                 "live-mode runs; the best rate is gated");
+    flags.addDouble("floor-mlookups", 1.0,
+                    "fail below this many million lookups/sec");
+    flags.addInt("profile-samples", 30000, "profiling samples");
+    flags.addInt("seed", 7, "model/data/load seed");
+    flags.parse(argc, argv);
+
+    const auto seed =
+        static_cast<std::uint64_t>(flags.getInt("seed"));
+    ModelSpec model = makeTinyModel(
+        static_cast<std::uint32_t>(flags.getInt("features")),
+        static_cast<std::uint64_t>(flags.getInt("rows")), seed);
+    for (auto &f : model.features)
+        f.dim = static_cast<std::uint32_t>(flags.getInt("dim"));
+    SyntheticDataset data(model, seed * 2654435761ULL + 1);
+
+    SystemSpec system = SystemSpec::paper(
+        static_cast<std::uint32_t>(flags.getInt("gpus")), 1.0);
+    system.hbm.capacityBytes = static_cast<std::uint64_t>(
+        static_cast<double>(model.totalBytes()) *
+        flags.getDouble("hbm-frac") /
+        static_cast<double>(system.numGpus));
+    system.uvm.capacityBytes = model.totalBytes();
+
+    const auto profiles = profileDataset(
+        data,
+        static_cast<std::uint64_t>(flags.getInt("profile-samples")));
+
+    ClusterPlanOptions cp;
+    cp.numNodes =
+        static_cast<std::uint32_t>(flags.getInt("nodes"));
+    const RoutingCluster cluster =
+        buildRoutingCluster(model, profiles, system, cp);
+
+    LoadConfig load;
+    load.qps = 1e6; // arrival spacing is irrelevant open-loop
+    load.meanQuerySamples = flags.getDouble("mean-samples");
+    load.seed = seed ^ 0x60157ULL;
+    const RoutedTrace trace = materializeRoutedTrace(
+        data, load,
+        static_cast<std::uint64_t>(flags.getInt("queries")));
+
+    RealTimeConfig cfg;
+    cfg.router.policy = RoutingPolicy::RoundRobin;
+    cfg.router.server.cacheRows =
+        static_cast<std::uint64_t>(flags.getInt("cache-rows"));
+    cfg.router.server.batchOverheadSeconds =
+        flags.getDouble("overhead-us") / 1e6;
+    cfg.router.slaSeconds = flags.getDouble("sla-ms") / 1e3;
+    cfg.router.overload.admission.policy = "queue-threshold";
+    cfg.router.overload.admission.maxOutstanding =
+        static_cast<std::uint64_t>(
+            flags.getInt("max-outstanding"));
+    cfg.workerThreads =
+        static_cast<std::uint32_t>(flags.getInt("workers"));
+    cfg.producerThreads =
+        static_cast<std::uint32_t>(flags.getInt("producers"));
+
+    std::cout << "Model: " << formatBytes(model.totalBytes())
+              << " of EMBs; " << cp.numNodes << " nodes x "
+              << system.numGpus << " GPUs; "
+              << trace.queries.size()
+              << " queries pushed open-loop\n\n";
+
+    TextTable t({"Mode", "workers", "producers", "QPS",
+                 "Mlookups/s", "p99 (served)", "served %",
+                 "peak queue"});
+    const auto addRow = [&t](const RealTimeReport &r) {
+        t.addRow({r.mode, fmtDouble(r.workerThreads, 0),
+                  fmtDouble(r.producerThreads, 0),
+                  fmtDouble(r.sustainedQps, 0),
+                  fmtDouble(r.lookupsPerSecond / 1e6, 2),
+                  formatSeconds(r.wall.p99Latency),
+                  fmtDouble(100.0 *
+                                static_cast<double>(
+                                    r.ledger.served) /
+                                static_cast<double>(
+                                    r.ledger.offered),
+                            1),
+                  fmtDouble(r.maxNodeOutstanding, 0)});
+    };
+
+    // The deterministic twin first: mirror mode replays the DES
+    // decision stream, so its ledger is the DES ledger (the
+    // differential test tier asserts exactly this equality).
+    {
+        RealTimeConfig mirror = cfg;
+        mirror.mode = "mirror";
+        const RealTimeExecutor exec(model, cluster, mirror);
+        addRow(exec.run(trace));
+    }
+
+    // Saturation runs: open-loop live mode, best-of-N to shake
+    // out scheduler warm-up on shared CI runners.
+    RealTimeConfig live = cfg;
+    live.mode = "live";
+    const RealTimeExecutor exec(model, cluster, live);
+    RealTimeReport best;
+    const auto repeats =
+        std::max<std::int64_t>(1, flags.getInt("repeats"));
+    for (std::int64_t i = 0; i < repeats; ++i) {
+        RealTimeReport r = exec.run(trace);
+        addRow(r);
+        if (r.lookupsPerSecond > best.lookupsPerSecond)
+            best = std::move(r);
+    }
+    t.print(std::cout, "Real-threads throughput ceiling");
+
+    const double floor = flags.getDouble("floor-mlookups") * 1e6;
+    std::cout << "\nbest sustained rate: "
+              << fmtDouble(best.lookupsPerSecond / 1e6, 2)
+              << " Mlookups/s (" << fmtDouble(best.sustainedQps, 0)
+              << " QPS) with served-only p99 "
+              << formatSeconds(best.wall.p99Latency) << "\n";
+    std::cout << (best.lookupsPerSecond >= floor ? "FLOOR HOLDS"
+                                                 : "FLOOR VIOLATED")
+              << ": " << fmtDouble(best.lookupsPerSecond / 1e6, 2)
+              << (best.lookupsPerSecond >= floor ? " >= " : " < ")
+              << fmtDouble(floor / 1e6, 2) << " Mlookups/s\n";
+    return best.lookupsPerSecond >= floor ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lock-free multi-producer / single-consumer queue — the admission
+ * queue of the real-time serving backend (routing/realtime.hh).
+ *
+ * The design is Vyukov's intrusive MPSC list, non-intrusive
+ * variant: producers publish nodes with a single atomic exchange on
+ * the head (wait-free — no CAS loop, no producer ever retries), and
+ * link the previous head to the new node with a release store. The
+ * single consumer walks the list from the tail, so pops are plain
+ * loads plus one acquire read of the link.
+ *
+ * Ordering contract (what the torture test in
+ * tests/mpsc_queue_test.cc asserts): no entry is ever lost or
+ * duplicated, and entries from one producer are popped in that
+ * producer's push order. Entries from *different* producers
+ * interleave arbitrarily — that interleaving is decided by the
+ * head-exchange order, which is exactly the queue's linearization.
+ *
+ * One transient subtlety: between a producer's head exchange and
+ * its link store, the consumer can observe an apparently empty
+ * queue even though a later entry is already published. The
+ * consumer must therefore never treat a single failed tryPop() as
+ * "drained"; the backend's workers only stop once every producer
+ * has been joined (join gives the happens-before that makes all
+ * links visible) *and* tryPop() fails.
+ */
+
+#ifndef RECSHARD_ROUTING_MPSC_QUEUE_HH
+#define RECSHARD_ROUTING_MPSC_QUEUE_HH
+
+#include <atomic>
+#include <utility>
+
+namespace recshard {
+
+/** Unbounded lock-free MPSC FIFO (per-producer order preserved). */
+template <typename T>
+class MpscQueue
+{
+  public:
+    MpscQueue()
+    {
+        Node *stub = new Node();
+        head.store(stub, std::memory_order_relaxed);
+        tail = stub;
+    }
+
+    /** Consumer-side teardown; any undrained entries are freed. */
+    ~MpscQueue()
+    {
+        Node *n = tail;
+        while (n != nullptr) {
+            Node *next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    MpscQueue(const MpscQueue &) = delete;
+    MpscQueue &operator=(const MpscQueue &) = delete;
+
+    /** Publish one entry; safe from any number of threads. */
+    void
+    push(T value)
+    {
+        Node *n = new Node(std::move(value));
+        // The exchange linearizes concurrent pushes; the release
+        // link store hands the node (and its value) to the consumer.
+        Node *prev = head.exchange(n, std::memory_order_acq_rel);
+        prev->next.store(n, std::memory_order_release);
+    }
+
+    /**
+     * Pop the oldest visible entry into `out`. Single consumer
+     * only. A false return means "nothing visible right now", not
+     * "empty forever" — see the file comment's transient-gap note.
+     */
+    bool
+    tryPop(T &out)
+    {
+        Node *next = tail->next.load(std::memory_order_acquire);
+        if (next == nullptr)
+            return false;
+        out = std::move(next->value);
+        Node *old = tail;
+        tail = next;
+        delete old;
+        return true;
+    }
+
+  private:
+    struct Node
+    {
+        Node() = default;
+        explicit Node(T v) : value(std::move(v)) {}
+        std::atomic<Node *> next{nullptr};
+        T value{};
+    };
+
+    /** Producers publish here; padded away from the consumer end
+     *  so pushes never false-share with pops. */
+    alignas(64) std::atomic<Node *> head;
+    /** Consumer-owned cursor (always points at a consumed stub). */
+    alignas(64) Node *tail;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_ROUTING_MPSC_QUEUE_HH

@@ -112,11 +112,16 @@ Router::Router(const ModelSpec &model_,
 }
 
 RoutingReport
-Router::route(const RoutedTrace &trace) const
+Router::route(const RoutedTrace &trace,
+              std::vector<RouteDecision> *decisions) const
 {
     fatal_if(trace.queries.empty(), "no queries to route");
     const std::uint32_t N = cluster.numNodes();
     const std::uint64_t Q = trace.queries.size();
+    if (decisions != nullptr) {
+        decisions->clear();
+        decisions->resize(Q);
+    }
 
     // Fresh per-run node state: queues, caches, virtual clocks.
     std::vector<ServingNode> nodes;
@@ -259,6 +264,10 @@ Router::route(const RoutedTrace &trace) const
                    degrade.shouldShed(verdict))) {
                   st.shed = true;
                   ++shed;
+                  if (decisions != nullptr) {
+                      (*decisions)[e.query].node = n;
+                      (*decisions)[e.query].shed = true;
+                  }
                   break;
               }
               st.tier = degrade.enabled()
@@ -267,6 +276,12 @@ Router::route(const RoutedTrace &trace) const
                   ? rq.query.samples
                   : degrade.degradedSamples(rq.query.samples,
                                             st.tier);
+              if (decisions != nullptr) {
+                  RouteDecision &d = (*decisions)[e.query];
+                  d.node = n;
+                  d.tier = st.tier;
+                  d.keptSamples = st.keptSamples;
+              }
               ++tier_queries[st.tier];
               tier_offered_cand[st.tier] += rq.query.samples;
               tier_served_cand[st.tier] += st.keptSamples;

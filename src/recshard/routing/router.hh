@@ -225,6 +225,26 @@ struct RoutingReport
     double clusterUtilization = 0.0;
 };
 
+/**
+ * One query's routing + admission outcome, recorded by the DES as
+ * it routes. This is the hand-off between the deterministic twin
+ * and the real-threads backend (routing/realtime.hh): the DES
+ * *decides* (node, shed-or-serve, fidelity tier), the
+ * RealTimeExecutor *executes* those decisions on real cores, and
+ * the differential test tier holds the two to identical ledgers.
+ */
+struct RouteDecision
+{
+    /** Primary node the policy picked (hedge copies excluded). */
+    std::uint32_t node = 0;
+    /** Rejected at admission; tier/keptSamples are meaningless. */
+    bool shed = false;
+    /** Fidelity tier assigned at admission (0 = full). */
+    std::uint32_t tier = 0;
+    /** Ranking candidates actually served. */
+    std::uint32_t keptSamples = 0;
+};
+
 /** Front-end router over an immutable cluster. */
 class Router
 {
@@ -243,8 +263,15 @@ class Router
      * state (queues, caches, clocks) is rebuilt per call, so
      * repeated or interleaved evaluations of the same trace are
      * independent and identical.
+     *
+     * @param decisions When non-null, overwritten with one
+     *                  RouteDecision per query (indexed by query
+     *                  id) — the deterministic decision stream the
+     *                  real-time backend replays.
      */
-    RoutingReport route(const RoutedTrace &trace) const;
+    RoutingReport
+    route(const RoutedTrace &trace,
+          std::vector<RouteDecision> *decisions = nullptr) const;
 
     const RouterConfig &config() const { return cfg; }
 

@@ -64,6 +64,52 @@ ServingMetrics::reset()
     servedCand = 0;
 }
 
+void
+ServingMetrics::mergeFrom(const ServingMetrics &other)
+{
+    arrivals.insert(arrivals.end(), other.arrivals.begin(),
+                    other.arrivals.end());
+    completions.insert(completions.end(),
+                       other.completions.begin(),
+                       other.completions.end());
+    shedArrivals.insert(shedArrivals.end(),
+                        other.shedArrivals.begin(),
+                        other.shedArrivals.end());
+    batchesV += other.batchesV;
+    batchedQueries += other.batchedQueries;
+    hbm += other.hbm;
+    uvm += other.uvm;
+    cacheHitsV += other.cacheHitsV;
+    offeredCand += other.offeredCand;
+    servedCand += other.servedCand;
+}
+
+ShardedServingMetrics::ShardedServingMetrics(
+    std::uint32_t num_shards)
+    : shards(num_shards)
+{
+    fatal_if(num_shards == 0,
+             "sharded metrics need >= 1 shard (one per recording "
+             "thread)");
+}
+
+ServingMetrics &
+ShardedServingMetrics::shard(std::uint32_t i)
+{
+    fatal_if(i >= shards.size(), "metrics shard ", i,
+             " out of range (", shards.size(), " shards)");
+    return shards[i].metrics;
+}
+
+ServingMetrics
+ShardedServingMetrics::merged() const
+{
+    ServingMetrics all;
+    for (const PaddedMetrics &s : shards)
+        all.mergeFrom(s.metrics);
+    return all;
+}
+
 ServingReport
 ServingMetrics::report(const std::string &strategy,
                        double sla_seconds, std::uint32_t gpus,

@@ -118,6 +118,14 @@ class ServingMetrics
     void reset();
 
     /**
+     * Fold another collector's samples and counters into this one.
+     * Order-insensitive for every report() output (percentiles
+     * sort, counters sum), so per-thread shards can be merged in
+     * any order — see ShardedServingMetrics.
+     */
+    void mergeFrom(const ServingMetrics &other);
+
+    /**
      * Reduce to a report.
      *
      * @param strategy     Plan name for the report.
@@ -140,6 +148,49 @@ class ServingMetrics
     std::uint64_t cacheHitsV = 0;
     std::uint64_t offeredCand = 0;
     std::uint64_t servedCand = 0;
+};
+
+/**
+ * Concurrent-recording wrapper: one ServingMetrics shard per
+ * recording thread, merged once at report time.
+ *
+ * ServingMetrics itself is deliberately *not* synchronized — its
+ * hot path is two vector push_backs, and a mutex (or atomics on
+ * the sample vectors) would serialize exactly the threads the
+ * real-time backend exists to scale across. Sharing one collector
+ * across threads is a data race: concurrent push_backs lose
+ * samples or corrupt the vectors outright (the TSan CI job and
+ * serving_test's ConcurrentRecordingConservesEveryQuery pin this).
+ * The sharded form gives each thread private ownership of its
+ * shard; merged() is only valid once every recording thread has
+ * been joined (join provides the happens-before edge).
+ */
+class ShardedServingMetrics
+{
+  public:
+    /** @param num_shards One per recording thread; must be >= 1. */
+    explicit ShardedServingMetrics(std::uint32_t num_shards);
+
+    /** Shard `i`'s collector; each thread must use its own. */
+    ServingMetrics &shard(std::uint32_t i);
+
+    std::uint32_t numShards() const
+    {
+        return static_cast<std::uint32_t>(shards.size());
+    }
+
+    /** All shards folded into one collector (join threads first). */
+    ServingMetrics merged() const;
+
+  private:
+    /** Cache-line padding so two threads' shards never contend on
+     *  one line while recording. */
+    struct alignas(64) PaddedMetrics
+    {
+        ServingMetrics metrics;
+    };
+
+    std::vector<PaddedMetrics> shards;
 };
 
 } // namespace recshard

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "recshard/datagen/model_zoo.hh"
 #include "recshard/engine/execution.hh"
@@ -327,6 +328,90 @@ TEST(ServingMetrics, ShedQueriesNeverOccupyTheQueue)
     // Sheds widen the window but never add queue depth.
     EXPECT_EQ(r.maxQueueDepth, 1u);
     EXPECT_DOUBLE_EQ(r.meanQueueDepth, 1.0);
+}
+
+TEST(ShardedServingMetrics, ConcurrentRecordingConservesEveryQuery)
+{
+    // The regression the sharded collector exists for: one plain
+    // ServingMetrics recorded from several threads loses updates
+    // (racing vector push_backs and counter increments — UB, and
+    // dropped queries in practice). Per-thread shards merged after
+    // join conserve every record. Recording into a single shared
+    // ServingMetrics here instead makes this test fail (when it
+    // doesn't corrupt the heap outright) and trips the TSan job.
+    constexpr std::uint32_t kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+    ShardedServingMetrics sharded(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&sharded, t] {
+            ServingMetrics &m = sharded.shard(t);
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                const double at = static_cast<double>(i) * 1e-6;
+                if (i % 5 == 0)
+                    m.recordShed(at, 4);
+                else
+                    m.recordQuery(at, at + 1e-4, 4, 2);
+                m.recordTraffic(3, 2, 1);
+            }
+            m.recordBatch(kPerThread);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    const ServingMetrics all = sharded.merged();
+    const ServingReport r = all.report("sharded", 0.001, 1, 0.0);
+    const std::uint64_t total = kThreads * kPerThread;
+    const std::uint64_t shed = kThreads * (kPerThread / 5);
+    EXPECT_EQ(r.queries, total);
+    EXPECT_EQ(r.shedQueries, shed);
+    EXPECT_EQ(r.servedQueries, total - shed);
+    EXPECT_EQ(r.offeredCandidates, 4 * total);
+    EXPECT_EQ(r.servedCandidates, 2 * (total - shed));
+    EXPECT_EQ(r.hbmAccesses, 3 * total);
+    EXPECT_EQ(r.uvmAccesses, 2 * total);
+    EXPECT_EQ(r.cacheHits, total);
+    EXPECT_EQ(r.batches, kThreads);
+}
+
+TEST(ShardedServingMetrics, MergeMatchesSequentialRecording)
+{
+    // Splitting a record stream across shards and merging must
+    // produce the same report as recording it into one collector —
+    // the property the real-time backend's ledger equality needs.
+    ServingMetrics sequential;
+    ShardedServingMetrics sharded(3);
+    for (std::uint32_t i = 0; i < 300; ++i) {
+        const double at = static_cast<double>(i) * 1e-5;
+        ServingMetrics &s = sharded.shard(i % 3);
+        if (i % 7 == 0) {
+            sequential.recordShed(at, 5);
+            s.recordShed(at, 5);
+        } else {
+            sequential.recordQuery(at, at + 2e-4, 5, 3);
+            s.recordQuery(at, at + 2e-4, 5, 3);
+        }
+        sequential.recordTraffic(2, 1, 1);
+        s.recordTraffic(2, 1, 1);
+    }
+    const ServingReport a =
+        sequential.report("seq", 0.001, 1, 0.0);
+    const ServingReport b =
+        sharded.merged().report("seq", 0.001, 1, 0.0);
+    EXPECT_EQ(a.queries, b.queries);
+    EXPECT_EQ(a.servedQueries, b.servedQueries);
+    EXPECT_EQ(a.shedQueries, b.shedQueries);
+    EXPECT_EQ(a.offeredCandidates, b.offeredCandidates);
+    EXPECT_EQ(a.servedCandidates, b.servedCandidates);
+    EXPECT_EQ(a.hbmAccesses, b.hbmAccesses);
+    EXPECT_EQ(a.uvmAccesses, b.uvmAccesses);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_DOUBLE_EQ(a.p99Latency, b.p99Latency);
+    EXPECT_DOUBLE_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_DOUBLE_EQ(a.durationSeconds, b.durationSeconds);
+    EXPECT_DOUBLE_EQ(a.meanQueueDepth, b.meanQueueDepth);
 }
 
 // ------------------------------------------- end-to-end evaluation
