@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The tiering headline, enforced by exit code (ROADMAP "third
+ * memory tier"): a 3-tier HBM / DRAM / SSD plan serves a model that
+ * is `capacity-mult`x (default 4x) larger than the node's combined
+ * HBM+DRAM capacity — i.e. a model a DRAM-only node cannot hold at
+ * all — with served p99 still inside the SLA. And at equal
+ * capacity, the near-data SSD variant (RecSSD/RecNMP in-situ
+ * pooling: only reduced vectors cross the link) beats the plain SSD
+ * p99 on the identical trace.
+ *
+ * Checks:
+ *   1. the model really overflows HBM+DRAM by >= capacity-mult;
+ *   2. the registry planner produces a feasible 3-tier plan;
+ *   3. served p99 through the 3-tier stack <= SLA;
+ *   4. near-data SSD p99 < plain SSD p99 at equal capacity.
+ */
+
+#include <iostream>
+
+#include "recshard/base/flags.hh"
+#include "recshard/base/logging.hh"
+#include "recshard/base/table.hh"
+#include "recshard/base/units.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/engine/execution.hh"
+#include "recshard/planner/registry.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/serving/serving.hh"
+#include "recshard/tiering/topology.hh"
+
+using namespace recshard;
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_tiering_capacity");
+    flags.addInt("features", 12, "sparse features in the model");
+    flags.addInt("rows", 20000, "EMB rows per feature (pre-skew)");
+    flags.addInt("dim", 128, "embedding dimension");
+    flags.addInt("gpus", 2, "serving GPUs");
+    flags.addDouble("capacity-mult", 4.0,
+                    "model bytes over the HBM+DRAM capacity");
+    flags.addDouble("hbm-frac", 1.0 / 64.0,
+                    "fraction of the model each GPU's HBM holds");
+    flags.addString("planner", "recshard", "registry planner");
+    flags.addDouble("qps", 3000, "mean arrival rate");
+    flags.addInt("queries", 20000, "queries served");
+    flags.addDouble("mean-samples", 4,
+                    "mean ranking candidates per query");
+    flags.addDouble("sla-ms", 10.0, "latency SLA, ms");
+    flags.addInt("profile-samples", 30000, "profiling samples");
+    flags.addInt("seed", 11, "model/data/load seed");
+    flags.parse(argc, argv);
+
+    const auto seed =
+        static_cast<std::uint64_t>(flags.getInt("seed"));
+    ModelSpec model = makeTinyModel(
+        static_cast<std::uint32_t>(flags.getInt("features")),
+        static_cast<std::uint64_t>(flags.getInt("rows")), seed);
+    for (auto &f : model.features)
+        f.dim = static_cast<std::uint32_t>(flags.getInt("dim"));
+    SyntheticDataset data(model, seed * 2654435761ULL + 1);
+
+    const auto gpus =
+        static_cast<std::uint32_t>(flags.getInt("gpus"));
+    const double mult = flags.getDouble("capacity-mult");
+    const double total =
+        static_cast<double>(model.totalBytes());
+
+    // Size the stack so HBM+DRAM together hold 1/mult of the model;
+    // the SSD tier absorbs everything else with room to spare.
+    const auto hbm_pg = static_cast<std::uint64_t>(
+        total * flags.getDouble("hbm-frac") / gpus);
+    const auto hot_pg =
+        static_cast<std::uint64_t>(total / (mult * gpus));
+    fatal_if(hot_pg <= hbm_pg, "hbm-frac ", flags.getDouble(
+             "hbm-frac"), " leaves no DRAM at capacity-mult ",
+             mult);
+    const std::uint64_t dram_pg = hot_pg - hbm_pg;
+    const std::uint64_t ssd_pg =
+        static_cast<std::uint64_t>(total / gpus) + GB / 1000;
+
+    const SystemSpec ssd_node =
+        threeTierNode(gpus, hbm_pg, dram_pg, ssd_pg, false);
+    const SystemSpec nd_node =
+        threeTierNode(gpus, hbm_pg, dram_pg, ssd_pg, true);
+
+    const double dram_only_capacity =
+        static_cast<double>(gpus) *
+        static_cast<double>(hbm_pg + dram_pg);
+    const double overflow = total / dram_only_capacity;
+
+    std::cout << "Model: " << formatBytes(model.totalBytes())
+              << "; per-GPU HBM " << formatBytes(hbm_pg)
+              << ", DRAM " << formatBytes(dram_pg) << ", SSD "
+              << formatBytes(ssd_pg) << " ("
+              << fmtDouble(overflow, 2)
+              << "x over DRAM-only capacity)\n\n";
+
+    const auto profiles = profileDataset(
+        data, static_cast<std::uint64_t>(
+                  flags.getInt("profile-samples")));
+
+    const std::unique_ptr<Planner> planner =
+        PlannerRegistry::create(flags.getString("planner"));
+    PlanRequest req =
+        PlanRequest::make(model, profiles, ssd_node, 16384);
+    const PlanResult solved = planner->plan(req);
+    fatal_if(!solved.diag.feasible, "planner '",
+             flags.getString("planner"),
+             "' found no feasible 3-tier plan");
+    const auto resolvers = ExecutionEngine::buildResolvers(
+        model, solved.plan, profiles);
+
+    ServingConfig cfg;
+    cfg.load.qps = flags.getDouble("qps");
+    cfg.load.meanQuerySamples = flags.getDouble("mean-samples");
+    cfg.load.seed = seed ^ 0x71e5ULL;
+    cfg.numQueries =
+        static_cast<std::uint64_t>(flags.getInt("queries"));
+    cfg.slaSeconds = flags.getDouble("sla-ms") / 1e3;
+
+    // The same seeded trace serves both SSD variants: the only
+    // difference is whether the drive pools in storage.
+    const ServingReport ssd_report = serveTraffic(
+        data, solved.plan, resolvers, ssd_node, cfg);
+    const ServingReport nd_report = serveTraffic(
+        data, solved.plan, resolvers, nd_node, cfg);
+
+    TextTable t({"Stack", "QPS", "p50", "p99", "max", "UVM+SSD %",
+                 "SLA viol %"});
+    for (const auto *r : {&ssd_report, &nd_report}) {
+        t.addRow({r == &ssd_report ? "HBM/DRAM/SSD"
+                                   : "HBM/DRAM/SSD-nd",
+                  fmtDouble(r->qps, 0), formatSeconds(r->p50Latency),
+                  formatSeconds(r->p99Latency),
+                  formatSeconds(r->maxLatency),
+                  fmtDouble(100 * r->uvmAccessFraction, 2),
+                  fmtDouble(100 * r->slaViolationRate, 2)});
+    }
+    t.print(std::cout, "3-tier serving at " + fmtDouble(overflow, 1)
+                           + "x DRAM-only capacity");
+    std::cout << "\nPlanner notes: " << solved.diag.notes << "\n";
+
+    bool ok = true;
+    if (overflow < mult - 1e-9) {
+        std::cout << "FAIL: model only " << fmtDouble(overflow, 2)
+                  << "x over DRAM-only capacity (need " << mult
+                  << "x)\n";
+        ok = false;
+    }
+    if (ssd_report.p99Latency > cfg.slaSeconds) {
+        std::cout << "FAIL: 3-tier p99 "
+                  << formatSeconds(ssd_report.p99Latency)
+                  << " over the "
+                  << formatSeconds(cfg.slaSeconds) << " SLA\n";
+        ok = false;
+    }
+    if (nd_report.p99Latency >= ssd_report.p99Latency) {
+        std::cout << "FAIL: near-data p99 "
+                  << formatSeconds(nd_report.p99Latency)
+                  << " does not beat plain SSD "
+                  << formatSeconds(ssd_report.p99Latency) << "\n";
+        ok = false;
+    }
+    std::cout << (ok ? "\nPASS" : "\nFAIL")
+              << ": 3-tier plan serves "
+              << fmtDouble(overflow, 1)
+              << "x DRAM-only capacity; near-data p99 "
+              << formatSeconds(nd_report.p99Latency)
+              << " vs plain SSD "
+              << formatSeconds(ssd_report.p99Latency) << "\n";
+    return ok ? 0 : 1;
+}

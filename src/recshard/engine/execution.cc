@@ -65,7 +65,11 @@ ExecutionEngine::buildResolvers(const ModelSpec &model,
     for (std::size_t j = 0; j < plan.tables.size(); ++j) {
         const auto hash_size = model.features[j].hashSize;
         const auto hbm_rows = plan.tables[j].hbmRows;
-        if (hbm_rows >= hash_size)
+        if (plan.tables[j].tiered())
+            resolvers.push_back(TierResolver::tiered(
+                profiles[j].cdf, plan.tables[j].tierRows,
+                hash_size));
+        else if (hbm_rows >= hash_size)
             resolvers.push_back(TierResolver::allHbm());
         else if (hbm_rows == 0)
             resolvers.push_back(TierResolver::allUvm());

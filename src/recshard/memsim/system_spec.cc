@@ -6,6 +6,16 @@
 
 namespace recshard {
 
+void
+MemoryTierSpec::validate() const
+{
+    panic_if(bandwidth <= 0.0, "tier '", name,
+             "' has non-positive bandwidth ", bandwidth,
+             " (would divide by zero in transferTime)");
+    panic_if(accessLatency < 0.0, "tier '", name,
+             "' has negative access latency ", accessLatency);
+}
+
 SystemSpec
 SystemSpec::paper(std::uint32_t gpus, double capacity_scale)
 {
@@ -31,34 +41,140 @@ SystemSpec::paper(std::uint32_t gpus, double capacity_scale)
     return sys;
 }
 
+SystemSpec
+SystemSpec::fromTiers(std::uint32_t gpus,
+                      std::vector<MemoryTierSpec> tiers)
+{
+    fatal_if(gpus == 0, "a training system needs at least one GPU");
+    fatal_if(tiers.size() < 2, "a tier stack needs at least two "
+             "tiers (HBM-equivalent and one backing tier), got ",
+             tiers.size());
+    SystemSpec sys;
+    sys.numGpus = gpus;
+    sys.hbm = std::move(tiers[0]);
+    sys.uvm = std::move(tiers[1]);
+    sys.coldTiers.assign(
+        std::make_move_iterator(tiers.begin() + 2),
+        std::make_move_iterator(tiers.end()));
+    sys.validate();
+    return sys;
+}
+
 void
 SystemSpec::validate() const
 {
     fatal_if(numGpus == 0, "system has no GPUs");
-    fatal_if(hbm.bandwidth <= 0.0, "HBM bandwidth must be positive");
-    fatal_if(uvm.bandwidth <= 0.0, "UVM bandwidth must be positive");
     fatal_if(hbm.capacityBytes == 0, "HBM capacity must be positive");
-    if (hbm.bandwidth < uvm.bandwidth) {
-        warn("HBM (", formatBandwidth(hbm.bandwidth),
-             ") is slower than UVM (", formatBandwidth(uvm.bandwidth),
-             "); tier ordering is inverted");
+    for (std::size_t i = 0; i < numTiers(); ++i)
+        tier(i).validate();
+    for (std::size_t i = 1; i < numTiers(); ++i) {
+        if (tier(i).bandwidth > tier(i - 1).bandwidth) {
+            warn("tier '", tier(i).name, "' (",
+                 formatBandwidth(tier(i).bandwidth),
+                 ") is faster than tier '", tier(i - 1).name, "' (",
+                 formatBandwidth(tier(i - 1).bandwidth),
+                 "); tier ordering is inverted");
+        }
     }
 }
 
-EmbCostModel::EmbCostModel(const SystemSpec &system, Combine combine_)
-    : hbmBw(system.hbm.bandwidth), uvmBw(system.uvm.bandwidth),
-      mode(combine_)
+const MemoryTierSpec &
+SystemSpec::tier(std::size_t i) const
 {
+    if (i == 0)
+        return hbm;
+    if (i == 1)
+        return uvm;
+    panic_if(i - 2 >= coldTiers.size(), "tier index ", i,
+             " out of range (", numTiers(), " tiers)");
+    return coldTiers[i - 2];
+}
+
+std::vector<MemoryTierSpec>
+SystemSpec::tiers() const
+{
+    std::vector<MemoryTierSpec> stack;
+    stack.reserve(numTiers());
+    stack.push_back(hbm);
+    stack.push_back(uvm);
+    stack.insert(stack.end(), coldTiers.begin(), coldTiers.end());
+    return stack;
+}
+
+std::uint64_t
+SystemSpec::coldCapacityBytes() const
+{
+    std::uint64_t bytes = uvm.capacityBytes;
+    for (const MemoryTierSpec &t : coldTiers)
+        bytes += t.capacityBytes;
+    return bytes;
+}
+
+EmbCostModel::EmbCostModel(const SystemSpec &system, Combine combine_)
+    : mode(combine_)
+{
+    const std::size_t T = system.numTiers();
+    tierBw.reserve(T);
+    tierLat.reserve(T);
+    tierNear.reserve(T);
+    for (std::size_t i = 0; i < T; ++i) {
+        const MemoryTierSpec &t = system.tier(i);
+        t.validate();
+        tierBw.push_back(t.bandwidth);
+        tierLat.push_back(t.accessLatency);
+        tierNear.push_back(t.nearData);
+    }
+}
+
+double
+EmbCostModel::tierBandwidth(std::size_t i) const
+{
+    panic_if(i >= tierBw.size(), "tier index ", i, " out of range");
+    return tierBw[i];
+}
+
+double
+EmbCostModel::tierLatency(std::size_t i) const
+{
+    panic_if(i >= tierLat.size(), "tier index ", i, " out of range");
+    return tierLat[i];
+}
+
+bool
+EmbCostModel::tierNearData(std::size_t i) const
+{
+    panic_if(i >= tierNear.size(), "tier index ", i,
+             " out of range");
+    return tierNear[i];
 }
 
 double
 EmbCostModel::time(std::uint64_t hbm_bytes, std::uint64_t uvm_bytes)
     const
 {
-    const double t_hbm = static_cast<double>(hbm_bytes) / hbmBw;
-    const double t_uvm = static_cast<double>(uvm_bytes) / uvmBw;
+    const double t_hbm = static_cast<double>(hbm_bytes) / tierBw[0];
+    const double t_uvm = static_cast<double>(uvm_bytes) / tierBw[1];
     return mode == Combine::Sum ? t_hbm + t_uvm
                                 : std::max(t_hbm, t_uvm);
+}
+
+double
+EmbCostModel::timeTiered(
+    const std::vector<std::uint64_t> &bytes_per_tier) const
+{
+    panic_if(bytes_per_tier.size() != tierBw.size(),
+             "expected ", tierBw.size(), " tier byte counts, got ",
+             bytes_per_tier.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < tierBw.size(); ++i) {
+        if (bytes_per_tier[i] == 0)
+            continue;
+        const double t = tierLat[i] +
+            static_cast<double>(bytes_per_tier[i]) / tierBw[i];
+        total = mode == Combine::Sum ? total + t
+                                     : std::max(total, t);
+    }
+    return total;
 }
 
 double
@@ -71,10 +187,39 @@ EmbCostModel::estimatedEmbCost(const FeatureSpec &f, double avg_pool,
     const double step_bytes = avg_pool *
         static_cast<double>(f.rowBytes()) *
         static_cast<double>(batch);
-    const double hbm_term = pct_hbm * step_bytes / hbmBw;
-    const double uvm_term = (1.0 - pct_hbm) * step_bytes / uvmBw;
+    const double hbm_term = pct_hbm * step_bytes / tierBw[0];
+    const double uvm_term = (1.0 - pct_hbm) * step_bytes / tierBw[1];
     return mode == Combine::Sum ? hbm_term + uvm_term
                                 : std::max(hbm_term, uvm_term);
+}
+
+double
+EmbCostModel::estimatedEmbCostTiered(
+    const FeatureSpec &f, double avg_pool,
+    const std::vector<double> &tier_fracs, std::uint32_t batch) const
+{
+    fatal_if(tier_fracs.size() != tierBw.size(),
+             "expected ", tierBw.size(), " tier access fractions, "
+             "got ", tier_fracs.size());
+    const double step_bytes = avg_pool *
+        static_cast<double>(f.rowBytes()) *
+        static_cast<double>(batch);
+    double total = 0.0;
+    for (std::size_t i = 0; i < tierBw.size(); ++i) {
+        const double frac = tier_fracs[i];
+        fatal_if(frac < 0.0 || frac > 1.0 + 1e-9, "tier ", i,
+                 " access fraction ", frac, " outside [0,1]");
+        if (frac <= 0.0)
+            continue;
+        // In-situ pooling: only the reduced vector crosses the
+        // link, so the pooling factor drops out of the byte term.
+        const double bytes = tierNear[i] && avg_pool > 1.0
+            ? frac * step_bytes / avg_pool : frac * step_bytes;
+        const double t = tierLat[i] + bytes / tierBw[i];
+        total = mode == Combine::Sum ? total + t
+                                     : std::max(total, t);
+    }
+    return total;
 }
 
 } // namespace recshard

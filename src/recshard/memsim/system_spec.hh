@@ -11,6 +11,17 @@
  * Properties"): an embedding kernel's time is bytes-from-tier over
  * tier bandwidth, combined across tiers by summation (current GPUs)
  * or by max (hypothetical fully-concurrent mixed reads).
+ *
+ * The Section 4.4 generalization makes the hierarchy N-tier: beyond
+ * the always-present HBM and UVM pair, a `SystemSpec` may stack
+ * additional cold tiers (SSD, PIM-backed flash, ...), each with its
+ * own capacity, bandwidth, fixed access latency, and an optional
+ * `nearData` flag meaning in-situ pooling a la RecSSD/RecNMP: the
+ * device reduces a pooled lookup set internally and only one
+ * `dim * sizeof(float)` vector crosses the link per pooled bag
+ * instead of `pooling * dim`. Two-tier call sites keep compiling
+ * unchanged — `hbm`/`uvm` stay direct members and double as tiers 0
+ * and 1 of the stack.
  */
 
 #ifndef RECSHARD_MEMSIM_SYSTEM_SPEC_HH
@@ -18,7 +29,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "recshard/base/logging.hh"
 #include "recshard/base/units.hh"
 #include "recshard/datagen/feature_spec.hh"
 
@@ -30,20 +43,42 @@ struct MemoryTierSpec
     std::string name;
     std::uint64_t capacityBytes = 0;
     double bandwidth = 0.0; //!< bytes per second
+    /** Fixed access latency charged once per kernel that touches
+     *  this tier (device/page-fault setup; ~100us for NVMe). */
+    double accessLatency = 0.0;
+    /**
+     * In-situ pooling (RecSSD-style in-storage reduction, RecNMP
+     * rank-level near-memory processing): the tier pools resident
+     * rows internally, so one reduced `dim`-sized vector crosses
+     * the link per pooled bag instead of every looked-up row.
+     */
+    bool nearData = false;
 
     /** Seconds to transfer the given bytes at full bandwidth. */
     double transferTime(std::uint64_t bytes) const
     {
-        return static_cast<double>(bytes) / bandwidth;
+        panic_if(bandwidth <= 0.0, "tier '", name,
+                 "' has non-positive bandwidth ", bandwidth);
+        return accessLatency +
+            static_cast<double>(bytes) / bandwidth;
     }
+
+    /** Invariants: positive bandwidth, non-negative latency. */
+    void validate() const;
 };
 
 /** A homogeneous multi-GPU training node (per-GPU tier budgets). */
 struct SystemSpec
 {
     std::uint32_t numGpus = 16;
-    MemoryTierSpec hbm; //!< per-GPU HBM budget reserved for EMBs
-    MemoryTierSpec uvm; //!< per-GPU host-DRAM budget via UVM
+    MemoryTierSpec hbm; //!< tier 0: per-GPU HBM budget for EMBs
+    MemoryTierSpec uvm; //!< tier 1: per-GPU host-DRAM budget (UVM)
+    /**
+     * Tiers 2..N-1, colder-first (e.g. SSD behind DRAM). Empty for
+     * the paper's two-tier system; every pre-tiering call site
+     * leaves it empty and compiles unchanged.
+     */
+    std::vector<MemoryTierSpec> coldTiers;
 
     /**
      * The paper's evaluation system (Section 5.2).
@@ -56,8 +91,32 @@ struct SystemSpec
     static SystemSpec paper(std::uint32_t gpus = 16,
                             double capacity_scale = 1.0);
 
+    /**
+     * Build a system from an explicit ordered tier stack (fastest
+     * first, >= 2 tiers): tiers[0] -> hbm, tiers[1] -> uvm, the
+     * rest -> coldTiers.
+     */
+    static SystemSpec fromTiers(std::uint32_t gpus,
+                                std::vector<MemoryTierSpec> tiers);
+
     /** Validate invariants; fatal() on nonsense. */
     void validate() const;
+
+    /** Tiers in the stack (always >= 2: hbm and uvm). */
+    std::size_t numTiers() const { return 2 + coldTiers.size(); }
+
+    /** Tier i of the stack (0 = hbm, 1 = uvm, 2+ = coldTiers). */
+    const MemoryTierSpec &tier(std::size_t i) const;
+
+    /** The full ordered stack, fastest first: {hbm, uvm, cold...}. */
+    std::vector<MemoryTierSpec> tiers() const;
+
+    /** Node-total capacity of tier i (numGpus x per-GPU budget). */
+    std::uint64_t totalTierBytes(std::size_t i) const
+    {
+        return static_cast<std::uint64_t>(numGpus) *
+            tier(i).capacityBytes;
+    }
 
     std::uint64_t totalHbmBytes() const
     {
@@ -70,21 +129,37 @@ struct SystemSpec
         return static_cast<std::uint64_t>(numGpus) *
             uvm.capacityBytes;
     }
+
+    /** Per-GPU capacity of every tier below HBM (uvm + cold). */
+    std::uint64_t coldCapacityBytes() const;
 };
 
-/** Embedding-operator latency model over the two tiers. */
+/** Embedding-operator latency model over the tier stack. */
 class EmbCostModel
 {
   public:
-    /** How HBM and UVM read times combine (Section 4.2). */
+    /** How per-tier read times combine (Section 4.2). */
     enum class Combine { Sum, Max };
 
     explicit EmbCostModel(const SystemSpec &system,
                           Combine combine = Combine::Sum);
 
-    /** Kernel time for the given per-tier byte traffic. */
+    /** Kernel time for the given two-tier byte traffic (tiers 0
+     *  and 1 only; fixed latencies are not charged — the paper's
+     *  original model, kept bit-compatible for two-tier systems). */
     double time(std::uint64_t hbm_bytes, std::uint64_t uvm_bytes)
         const;
+
+    /**
+     * N-tier kernel time: per-tier transfer time plus each touched
+     * tier's fixed access latency, combined per the mode.
+     *
+     * @param bytes_per_tier Bytes read from each tier (stack
+     *                       order); a tier is "touched" (and pays
+     *                       its latency) when its entry is nonzero.
+     */
+    double timeTiered(const std::vector<std::uint64_t>
+                          &bytes_per_tier) const;
 
     /**
      * The MILP's per-EMB forward-pass cost estimate (Constraint 11):
@@ -100,13 +175,31 @@ class EmbCostModel
                             double pct_hbm, std::uint32_t batch)
         const;
 
+    /**
+     * N-tier Constraint 11: per-iteration cost of one EMB when
+     * `tier_fracs[i]` of its accesses are served by tier i. A
+     * near-data tier's byte term drops the pooling factor (only the
+     * reduced vector crosses the link), and every tier with a
+     * nonzero access share is charged its fixed latency.
+     */
+    double estimatedEmbCostTiered(const FeatureSpec &f,
+                                  double avg_pool,
+                                  const std::vector<double>
+                                      &tier_fracs,
+                                  std::uint32_t batch) const;
+
     Combine combine() const { return mode; }
-    double hbmBandwidth() const { return hbmBw; }
-    double uvmBandwidth() const { return uvmBw; }
+    std::size_t numTiers() const { return tierBw.size(); }
+    double tierBandwidth(std::size_t i) const;
+    double tierLatency(std::size_t i) const;
+    bool tierNearData(std::size_t i) const;
+    double hbmBandwidth() const { return tierBw[0]; }
+    double uvmBandwidth() const { return tierBw[1]; }
 
   private:
-    double hbmBw;
-    double uvmBw;
+    std::vector<double> tierBw;
+    std::vector<double> tierLat;
+    std::vector<bool> tierNear;
     Combine mode;
 };
 

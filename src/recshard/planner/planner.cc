@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "recshard/base/logging.hh"
+#include "recshard/base/units.hh"
+#include "recshard/tiering/tier_plan.hh"
 
 namespace recshard {
 
@@ -44,9 +46,17 @@ estimatePlanBottleneck(const ModelSpec &model,
     std::vector<double> gpu_cost(system.numGpus, 0.0);
     for (std::size_t j = 0; j < plan.tables.size(); ++j) {
         const auto &p = profiles[j];
-        const double pct =
-            p.cdf.accessFraction(plan.tables[j].hbmRows);
-        gpu_cost[plan.tables[j].gpu] += p.coverage *
+        const auto &t = plan.tables[j];
+        if (t.tiered()) {
+            gpu_cost[t.gpu] += p.coverage *
+                cost.estimatedEmbCostTiered(
+                    model.features[j], p.avgPool,
+                    tierAccessShares(t, p.cdf, cost.numTiers()),
+                    batch);
+            continue;
+        }
+        const double pct = p.cdf.accessFraction(t.hbmRows);
+        gpu_cost[t.gpu] += p.coverage *
             cost.estimatedEmbCost(model.features[j], p.avgPool, pct,
                                   batch);
     }
@@ -60,8 +70,20 @@ Planner::plan(const PlanRequest &request) const
 
     PlanResult out;
     out.diag.planner = name();
+    // Strategies solve the paper's two-tier problem; an N-tier
+    // system is collapsed to its projection for the solve and the
+    // resulting HBM split is then spread across the real cold tiers
+    // (Section 4.4). This N-tier-enables every registered strategy,
+    // including external ones, in one place.
+    const bool tiered = request.system.numTiers() > 2;
+    PlanRequest solve_request = request;
+    if (tiered)
+        solve_request.system = twoTierProjection(request.system);
     const auto t0 = std::chrono::steady_clock::now();
-    out.plan = solve(request, out.diag);
+    out.plan = solve(solve_request, out.diag);
+    if (tiered && out.diag.feasible)
+        extendPlanToTiers(*request.model, *request.profiles,
+                          request.system, out.plan);
     out.diag.solveSeconds = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
@@ -70,6 +92,15 @@ Planner::plan(const PlanRequest &request) const
         out.diag.bottleneckCost = estimatePlanBottleneck(
             *request.model, *request.profiles, request.system,
             out.plan, request.batchSize);
+        // Concurrent-read (Combine::Max) bound for the diagnostics:
+        // how fast this plan could go if all tiers streamed at once.
+        const double max_combine = maxCombineBottleneck(
+            *request.model, *request.profiles, request.system,
+            out.plan, request.batchSize);
+        if (!out.diag.notes.empty())
+            out.diag.notes += "; ";
+        out.diag.notes += "max-combine bottleneck " +
+            formatSeconds(max_combine);
     }
     return out;
 }

@@ -140,11 +140,79 @@ TierResolver::split(const FrequencyCdf &cdf, std::uint64_t hbm_rows,
 }
 
 TierResolver
+TierResolver::tiered(const FrequencyCdf &cdf,
+                     const std::vector<std::uint64_t> &tier_rows,
+                     std::uint64_t hash_size)
+{
+    fatal_if(tier_rows.size() < 2, "a tiered resolver needs at "
+             "least two tiers, got ", tier_rows.size());
+    fatal_if(tier_rows.size() >
+             std::numeric_limits<std::uint8_t>::max(),
+             "too many tiers (", tier_rows.size(), ")");
+    std::uint64_t total = 0;
+    for (const std::uint64_t r : tier_rows)
+        total += r;
+    fatal_if(total != hash_size, "tier row budgets sum to ", total,
+             " but the EMB has ", hash_size, " rows");
+
+    TierResolver r;
+    r.mode = Mode::Split;
+    r.numTiersV = tier_rows.size();
+    r.hot.assign(hash_size, false);
+    r.tierIds.assign(hash_size, 0);
+
+    // Ranked rows consume tier budgets hottest-first.
+    std::vector<std::uint64_t> remaining = tier_rows;
+    std::uint8_t tier = 0;
+    const auto take_slot = [&](std::uint64_t row) {
+        while (remaining[tier] == 0)
+            ++tier;
+        --remaining[tier];
+        r.tierIds[row] = tier;
+        r.hot[row] = tier == 0;
+    };
+    const auto &ranked = cdf.rankedRows();
+    const std::uint64_t from_rank =
+        std::min<std::uint64_t>(hash_size, ranked.size());
+    std::vector<bool> assigned(hash_size, false);
+    for (std::uint64_t i = 0; i < from_rank; ++i) {
+        take_slot(ranked[i]);
+        assigned[ranked[i]] = true;
+    }
+    // Untouched rows fill what's left in ascending row order,
+    // mirroring split()'s spill-back.
+    for (std::uint64_t row = 0; row < hash_size; ++row)
+        if (!assigned[row])
+            take_slot(row);
+    return r;
+}
+
+TierResolver
 TierResolver::fromBits(std::vector<bool> hot_bits)
 {
     TierResolver r;
     r.mode = Mode::Split;
     r.hot = std::move(hot_bits);
+    return r;
+}
+
+TierResolver
+TierResolver::fromTierIds(std::vector<std::uint8_t> ids,
+                          std::size_t num_tiers)
+{
+    fatal_if(num_tiers < 2, "a tier map needs at least two tiers");
+    TierResolver r;
+    r.mode = Mode::Split;
+    r.numTiersV = num_tiers;
+    r.tierIds = std::move(ids);
+    r.hot.assign(r.tierIds.size(), false);
+    for (std::uint64_t row = 0; row < r.tierIds.size(); ++row) {
+        fatal_if(r.tierIds[row] >= num_tiers, "row ", row,
+                 " maps to tier ",
+                 static_cast<unsigned>(r.tierIds[row]),
+                 " of ", num_tiers);
+        r.hot[row] = r.tierIds[row] == 0;
+    }
     return r;
 }
 
@@ -157,6 +225,29 @@ TierResolver::setHbm(std::uint64_t row, bool in_hbm)
     panic_if(row >= hot.size(), "row ", row,
              " outside resolver of ", hot.size(), " rows");
     hot[row] = in_hbm;
+    // Keep the N-tier map coherent: a pin promotes to tier 0, an
+    // unpin demotes to the first cold tier.
+    if (!tierIds.empty())
+        tierIds[row] = in_hbm ? 0 : 1;
+}
+
+std::uint64_t
+TierResolver::tierRows(std::uint64_t hash_size,
+                       std::uint8_t tier) const
+{
+    switch (mode) {
+      case Mode::AllHbm:
+        return tier == 0 ? hash_size : 0;
+      case Mode::AllUvm:
+        return tier == 1 ? hash_size : 0;
+      default:
+        panic_if(hot.size() != hash_size, "resolver covers ",
+                 hot.size(), " rows, asked about ", hash_size);
+        std::uint64_t rows = 0;
+        for (std::uint64_t row = 0; row < hash_size; ++row)
+            rows += tierOf(row) == tier;
+        return rows;
+    }
 }
 
 std::uint64_t

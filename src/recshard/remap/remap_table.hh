@@ -102,6 +102,19 @@ class TierResolver
                               std::uint64_t hash_size);
 
     /**
+     * N-tier split (Section 4.4): ranked rows fill the per-tier row
+     * budgets in rank order (hottest to the fastest tier); rows the
+     * profile never saw fill whatever budget remains in ascending
+     * row order, mirroring split()'s spill-back. `tier_rows` must
+     * sum to `hash_size`. The tier-0 rows double as the HBM pin set
+     * (inHbm() == (tierOf() == 0)).
+     */
+    static TierResolver tiered(const FrequencyCdf &cdf,
+                               const std::vector<std::uint64_t>
+                                   &tier_rows,
+                               std::uint64_t hash_size);
+
+    /**
      * Mutable split resolver from an explicit pin bitset. Live
      * migration (replan/migration.hh) materializes a table's
      * current membership this way so individual rows can be
@@ -109,6 +122,16 @@ class TierResolver
      * same object — the double-buffered handoff's visible side.
      */
     static TierResolver fromBits(std::vector<bool> hot);
+
+    /**
+     * Mutable split resolver from an explicit per-row tier map —
+     * the N-tier analogue of fromBits(). Live migration on a tiered
+     * node materializes this way so DRAM/SSD membership survives
+     * the handoff (setHbm() keeps the map coherent: pins promote to
+     * tier 0, unpins demote to tier 1).
+     */
+    static TierResolver fromTierIds(std::vector<std::uint8_t> ids,
+                                    std::size_t num_tiers);
 
     /**
      * Repin one row (Split mode only — materialize an AllHbm /
@@ -131,10 +154,38 @@ class TierResolver
         }
     }
 
+    /**
+     * Which tier serves this row. Whole-table resolvers answer 0
+     * (AllHbm) or 1 (AllUvm); split resolvers without an explicit
+     * N-tier map answer from the pin bit (0 or 1).
+     */
+    std::uint8_t
+    tierOf(std::uint64_t row) const
+    {
+        switch (mode) {
+          case Mode::AllHbm: return 0;
+          case Mode::AllUvm: return 1;
+          default:
+            return tierIds.empty() ? (hot[row] ? 0 : 1)
+                                   : tierIds[row];
+        }
+    }
+
+    /** Tiers this resolver distinguishes (2 unless built tiered). */
+    std::size_t numTiers() const { return numTiersV; }
+
+    /** Rows resolved to one tier (O(hash_size) for Split). */
+    std::uint64_t tierRows(std::uint64_t hash_size,
+                           std::uint8_t tier) const;
+
   private:
     enum class Mode { AllHbm, AllUvm, Split };
     Mode mode = Mode::AllUvm;
     std::vector<bool> hot;
+    /** Per-row tier index; empty for two-tier resolvers. Kept in
+     *  sync with `hot` (tierIds[r] == 0 iff hot[r]). */
+    std::vector<std::uint8_t> tierIds;
+    std::size_t numTiersV = 2;
 };
 
 } // namespace recshard

@@ -86,7 +86,17 @@ PlanMigration::PlanMigration(const ModelSpec &model,
 
         if (pins.empty() && unpins.empty())
             continue;
-        live[j] = TierResolver::fromBits(std::move(bits));
+        if (live[j].numTiers() > 2) {
+            // Tiered node: materialize the full tier map so the
+            // DRAM/SSD split keeps pricing correctly mid-migration.
+            std::vector<std::uint8_t> ids(rows);
+            for (std::uint64_t r = 0; r < rows; ++r)
+                ids[r] = live[j].tierOf(r);
+            live[j] = TierResolver::fromTierIds(
+                std::move(ids), live[j].numTiers());
+        } else {
+            live[j] = TierResolver::fromBits(std::move(bits));
+        }
 
         // Pair pins and unpins into rowsPerStep chunks. Unpins ride
         // with (and commit before) the pins of the same step, so the

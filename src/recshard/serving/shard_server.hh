@@ -121,6 +121,17 @@ class ShardServer
     double busySeconds() const { return busy; }
     const LruRowCache &cache() const { return lru; }
 
+    /**
+     * Accumulated lookups resolved to each tier (cache hits count
+     * as tier 0, like the HBM they emulate). Always sized to the
+     * cost model's tier count; on a two-tier system entries 0/1
+     * mirror the hbm/uvm ledger.
+     */
+    const std::vector<std::uint64_t> &tierAccessTotals() const
+    {
+        return tierTotals;
+    }
+
   private:
     std::uint32_t gpuV;
     const ModelSpec &model;
@@ -136,6 +147,7 @@ class ShardServer
     LruRowCache lru;
     double freeTime = 0.0; //!< virtual time the server idles from
     double busy = 0.0;
+    std::vector<std::uint64_t> tierTotals; //!< lookups per tier
 };
 
 /** All GPUs' execution records for one micro-batch. */

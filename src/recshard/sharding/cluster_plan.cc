@@ -6,6 +6,7 @@
 
 #include "recshard/base/logging.hh"
 #include "recshard/planner/registry.hh"
+#include "recshard/tiering/tier_plan.hh"
 
 namespace recshard {
 
@@ -169,6 +170,18 @@ solveNodePlans(const ModelSpec &model,
             plan.tables[j].hbmRows = 0;
             plan.tables[j].hbmAccessFraction = 0.0;
             uvm_load[gpu] += model.features[j].tableBytes();
+        }
+
+        // On an N-tier node, redo the cold-tier split jointly over
+        // the lifted plan: the slice solve only saw its own tables,
+        // but the non-slice tables now compete for the same DRAM /
+        // SSD budgets. The HBM decision is untouched.
+        if (node_sys.numTiers() > 2) {
+            for (auto &t : plan.tables) {
+                t.tierRows.clear();
+                t.tierAccessFraction.clear();
+            }
+            extendPlanToTiers(model, profiles, node_sys, plan);
         }
 
         plan.validate(model, node_sys);

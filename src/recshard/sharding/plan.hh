@@ -29,6 +29,21 @@ struct EmbPlacement
     std::uint64_t hbmRows = 0;
     /** Estimated fraction of accesses served from HBM (pct_j). */
     double hbmAccessFraction = 0.0;
+    /**
+     * N-tier split (Section 4.4): row counts per tier in stack
+     * order, hottest-ranked rows to the fastest tiers. Empty for a
+     * legacy two-tier placement (hbmRows in HBM, rest in UVM).
+     * When present: size == system.numTiers(), tierRows[0] ==
+     * hbmRows, and the entries sum to the EMB's hashSize.
+     */
+    std::vector<std::uint64_t> tierRows;
+    /** Estimated fraction of accesses served by each tier; same
+     *  shape contract as tierRows (tierAccessFraction[0] ==
+     *  hbmAccessFraction). */
+    std::vector<double> tierAccessFraction;
+
+    /** True when this placement carries an explicit N-tier split. */
+    bool tiered() const { return !tierRows.empty(); }
 };
 
 /** A complete sharding decision for a model. */
@@ -44,6 +59,14 @@ struct ShardingPlan
     /** Bytes of UVM-backed DRAM the plan consumes on one GPU. */
     std::uint64_t uvmBytesOnGpu(const ModelSpec &model,
                                 std::uint32_t gpu) const;
+
+    /**
+     * Bytes of tier `tier` the plan consumes on one GPU. Legacy
+     * placements count as {hbmRows -> tier 0, remainder -> tier 1}.
+     */
+    std::uint64_t tierBytesOnGpu(const ModelSpec &model,
+                                 std::uint32_t gpu,
+                                 std::size_t tier) const;
 
     /** Number of EMBs assigned to one GPU (Fig. 12 grouping). */
     std::uint32_t tablesOnGpu(std::uint32_t gpu) const;

@@ -1,0 +1,54 @@
+#include "recshard/tiering/topology.hh"
+
+#include "recshard/base/logging.hh"
+
+namespace recshard {
+
+MemoryTierSpec
+hbmTier(std::uint64_t capacity_bytes)
+{
+    return MemoryTierSpec{"HBM", capacity_bytes, 1555.0 * GBps};
+}
+
+MemoryTierSpec
+dramTier(std::uint64_t capacity_bytes)
+{
+    return MemoryTierSpec{"DRAM", capacity_bytes, 12.8 * GBps};
+}
+
+MemoryTierSpec
+ssdTier(std::uint64_t capacity_bytes, bool near_data)
+{
+    MemoryTierSpec tier{near_data ? "SSD-nd" : "SSD",
+                        capacity_bytes, 2.0 * GBps};
+    tier.accessLatency = 100e-6;
+    tier.nearData = near_data;
+    return tier;
+}
+
+SystemSpec
+threeTierNode(std::uint32_t gpus, std::uint64_t hbm_bytes,
+              std::uint64_t dram_bytes, std::uint64_t ssd_bytes,
+              bool near_data)
+{
+    return SystemSpec::fromTiers(
+        gpus, {hbmTier(hbm_bytes), dramTier(dram_bytes),
+               ssdTier(ssd_bytes, near_data)});
+}
+
+std::vector<SystemSpec>
+mixedTierCluster(std::size_t hot_count, const SystemSpec &hot,
+                 std::size_t cold_count, const SystemSpec &cold)
+{
+    fatal_if(hot_count + cold_count == 0,
+             "a cluster needs at least one node");
+    hot.validate();
+    cold.validate();
+    std::vector<SystemSpec> nodes;
+    nodes.reserve(hot_count + cold_count);
+    nodes.insert(nodes.end(), hot_count, hot);
+    nodes.insert(nodes.end(), cold_count, cold);
+    return nodes;
+}
+
+} // namespace recshard

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tier-stack presets and node/cluster topology builders.
+ *
+ * The numbers mirror the hardware the related systems report:
+ * HBM2e at ~1555 GB/s (the paper's A100s), host DRAM reached over
+ * PCIe 3.0 x16 at ~12.8 GB/s effective (the paper's UVM path), and
+ * datacenter NVMe flash at ~2 GB/s with ~100us access setup. The
+ * near-data SSD preset models RecSSD-style in-storage pooling and
+ * RecNMP-style rank-level reduction: the device pools resident rows
+ * internally, so only one reduced `dim`-sized vector crosses the
+ * link per pooled bag.
+ */
+
+#ifndef RECSHARD_TIERING_TOPOLOGY_HH
+#define RECSHARD_TIERING_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "recshard/memsim/system_spec.hh"
+
+namespace recshard {
+
+/** HBM tier preset: 1555 GB/s, no fixed access latency. */
+MemoryTierSpec hbmTier(std::uint64_t capacity_bytes);
+
+/** Host-DRAM-over-PCIe tier preset: 12.8 GB/s effective. */
+MemoryTierSpec dramTier(std::uint64_t capacity_bytes);
+
+/**
+ * NVMe flash tier preset: 2 GB/s, 100us access setup. With
+ * `near_data`, the drive pools in storage (RecSSD/RecNMP) and only
+ * reduced vectors cross the link.
+ */
+MemoryTierSpec ssdTier(std::uint64_t capacity_bytes,
+                       bool near_data = false);
+
+/**
+ * A 3-tier HBM / DRAM / SSD node (Section 4.4's example stack).
+ *
+ * Capacities are per GPU, as everywhere in SystemSpec.
+ */
+SystemSpec threeTierNode(std::uint32_t gpus,
+                         std::uint64_t hbm_bytes,
+                         std::uint64_t dram_bytes,
+                         std::uint64_t ssd_bytes,
+                         bool near_data = false);
+
+/**
+ * A heterogeneous cluster mixing tier topologies per node:
+ * `hot_count` copies of the `hot` node spec (typically 2-tier,
+ * HBM-rich) followed by `cold_count` copies of the `cold` node spec
+ * (typically 3-tier, SSD-backed). The result feeds straight into
+ * sharding/cluster_plan's per-node solve.
+ */
+std::vector<SystemSpec> mixedTierCluster(std::size_t hot_count,
+                                         const SystemSpec &hot,
+                                         std::size_t cold_count,
+                                         const SystemSpec &cold);
+
+} // namespace recshard
+
+#endif // RECSHARD_TIERING_TOPOLOGY_HH

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 #include "recshard/memsim/system_spec.hh"
 
 namespace {
@@ -39,7 +41,10 @@ TEST(SystemSpec, RejectsNonsense)
                 "GPU");
     SystemSpec sys = SystemSpec::paper();
     sys.hbm.bandwidth = 0.0;
-    EXPECT_EXIT(sys.validate(), ::testing::ExitedWithCode(1),
+    // A non-positive bandwidth is an internal invariant violation
+    // (panic/abort), not a user error: it would silently turn every
+    // downstream cost into inf through transferTime.
+    EXPECT_EXIT(sys.validate(), ::testing::KilledBySignal(SIGABRT),
                 "bandwidth");
 }
 
@@ -47,6 +52,98 @@ TEST(TierSpec, TransferTime)
 {
     const MemoryTierSpec tier{"HBM", GB, 2.0 * GBps};
     EXPECT_DOUBLE_EQ(tier.transferTime(2'000'000'000ULL), 1.0);
+}
+
+TEST(TierSpec, TransferTimeChargesAccessLatency)
+{
+    MemoryTierSpec tier{"SSD", GB, 2.0 * GBps};
+    tier.accessLatency = 100e-6;
+    EXPECT_DOUBLE_EQ(tier.transferTime(2'000'000'000ULL),
+                     1.0 + 100e-6);
+}
+
+TEST(TierSpecDeathTest, TransferTimePanicsOnZeroBandwidth)
+{
+    const MemoryTierSpec tier{"SSD", GB, 0.0};
+    EXPECT_EXIT(tier.transferTime(1), ::testing::KilledBySignal(SIGABRT),
+                "bandwidth");
+}
+
+TEST(TierSpecDeathTest, ValidateRejectsNonPositiveBandwidth)
+{
+    MemoryTierSpec tier{"SSD", GB, -1.0};
+    EXPECT_EXIT(tier.validate(), ::testing::KilledBySignal(SIGABRT),
+                "bandwidth");
+    tier.bandwidth = 2.0 * GBps;
+    tier.accessLatency = -1e-6;
+    EXPECT_EXIT(tier.validate(), ::testing::KilledBySignal(SIGABRT),
+                "latency");
+}
+
+TEST(SystemSpec, FromTiersBuildsColdStack)
+{
+    const SystemSpec sys = SystemSpec::fromTiers(
+        4, {MemoryTierSpec{"HBM", 24ULL * GB, 1555.0 * GBps},
+            MemoryTierSpec{"DRAM", 64ULL * GB, 12.8 * GBps},
+            MemoryTierSpec{"SSD", 512ULL * GB, 2.0 * GBps, 100e-6}});
+    EXPECT_EQ(sys.numTiers(), 3u);
+    EXPECT_EQ(sys.tier(0).name, "HBM");
+    EXPECT_EQ(sys.tier(2).name, "SSD");
+    EXPECT_EQ(sys.coldTiers.size(), 1u);
+    EXPECT_EQ(sys.coldCapacityBytes(), (64ULL + 512ULL) * GB);
+    EXPECT_EQ(sys.totalTierBytes(2), 4ULL * 512ULL * GB);
+    EXPECT_EQ(sys.tiers().size(), 3u);
+}
+
+TEST(CostModel, TimeTieredChargesTouchedTierLatencies)
+{
+    const SystemSpec sys = SystemSpec::fromTiers(
+        1, {MemoryTierSpec{"HBM", GB, 2.0 * GBps},
+            MemoryTierSpec{"DRAM", GB, 1.0 * GBps},
+            MemoryTierSpec{"SSD", GB, 0.5 * GBps, 100e-6}});
+    const EmbCostModel model(sys);
+    EXPECT_EQ(model.numTiers(), 3u);
+    // Untouched tiers pay no latency.
+    EXPECT_DOUBLE_EQ(model.timeTiered({2'000'000'000ULL, 0, 0}), 1.0);
+    // Touched SSD pays bandwidth time plus its fixed latency.
+    EXPECT_DOUBLE_EQ(model.timeTiered({0, 0, 500'000'000ULL}),
+                     1.0 + 100e-6);
+    // Sum mode adds the per-tier terms.
+    EXPECT_DOUBLE_EQ(
+        model.timeTiered({2'000'000'000ULL, 0, 500'000'000ULL}),
+        2.0 + 100e-6);
+    // The two-tier path stays bit-identical to the legacy model:
+    // no fixed latencies.
+    EXPECT_DOUBLE_EQ(model.time(2'000'000'000ULL, 1'000'000'000ULL),
+                     2.0);
+}
+
+TEST(CostModel, NearDataDropsPoolingFromByteTerm)
+{
+    SystemSpec sys = SystemSpec::fromTiers(
+        1, {MemoryTierSpec{"HBM", GB, 1555.0 * GBps},
+            MemoryTierSpec{"DRAM", GB, 12.8 * GBps},
+            MemoryTierSpec{"SSD", GB, 2.0 * GBps, 100e-6}});
+    FeatureSpec f;
+    f.dim = 64;
+    f.bytesPerElement = 4;
+    const double avg_pool = 20.0;
+    const EmbCostModel plain(sys);
+    sys.coldTiers[0].nearData = true;
+    const EmbCostModel near(sys);
+
+    // All accesses from the cold tier: in-situ pooling cuts the
+    // byte term by the pooling factor.
+    const std::vector<double> fracs{0.0, 0.0, 1.0};
+    const double t_plain =
+        plain.estimatedEmbCostTiered(f, avg_pool, fracs, 1024);
+    const double t_near =
+        near.estimatedEmbCostTiered(f, avg_pool, fracs, 1024);
+    const double step_bytes = avg_pool * 256.0 * 1024.0;
+    EXPECT_NEAR(t_plain, 100e-6 + step_bytes / (2.0 * GBps), 1e-12);
+    EXPECT_NEAR(t_near,
+                100e-6 + step_bytes / avg_pool / (2.0 * GBps), 1e-12);
+    EXPECT_LT(t_near, t_plain);
 }
 
 TEST(CostModel, SumCombinesTierTimes)

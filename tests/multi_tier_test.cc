@@ -50,6 +50,34 @@ TEST(TieredMemory, SumAndMaxTimes)
                 1e-9);
 }
 
+TEST(TieredMemory, OneTierStackMakesSumAndMaxAgree)
+{
+    // Degenerate one-tier hierarchy: both combines reduce to a
+    // single bytes / bandwidth term.
+    const TieredMemory mem(
+        {MemoryTierSpec{"HBM", 24 * GB, 1555.0 * GBps}});
+    ASSERT_EQ(mem.numTiers(), 1u);
+    const std::vector<std::uint64_t> bytes = {
+        static_cast<std::uint64_t>(1555.0 * GBps / 1000)};
+    EXPECT_NEAR(mem.time(bytes), 1e-3, 1e-9);
+    EXPECT_NEAR(mem.time(bytes, EmbCostModel::Combine::Max),
+                mem.time(bytes), 1e-15);
+}
+
+TEST(TieredMemory, ZeroByteTiersCostNothingUnderBothCombines)
+{
+    const TieredMemory mem = hbmDramSsd();
+    const std::vector<std::uint64_t> none(3, 0);
+    EXPECT_EQ(mem.time(none), 0.0);
+    EXPECT_EQ(mem.time(none, EmbCostModel::Combine::Max), 0.0);
+    // With exactly one loaded tier the combines agree too.
+    const std::vector<std::uint64_t> ssd_only = {
+        0, 0, static_cast<std::uint64_t>(2.0 * GBps / 1000)};
+    EXPECT_NEAR(mem.time(ssd_only), 1e-3, 1e-9);
+    EXPECT_NEAR(mem.time(ssd_only, EmbCostModel::Combine::Max),
+                mem.time(ssd_only), 1e-15);
+}
+
 TEST(TieredMemory, RejectsBadInput)
 {
     EXPECT_EXIT(TieredMemory({}), ::testing::ExitedWithCode(1),
