@@ -39,6 +39,7 @@ def doc_files():
     yield from sorted(REPO.glob("*.md"))
     yield from sorted((REPO / "docs").rglob("*.md"))
     yield from sorted((REPO / "src").rglob("*.md"))
+    yield from sorted((REPO / "tools").rglob("*.md"))
 
 
 def check(path: Path):

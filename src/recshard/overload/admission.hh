@@ -129,8 +129,9 @@ class AdmissionController
      * @param node        Picked node's index.
      * @param outstanding Picked node's queued + running queries.
      */
-    virtual AdmissionVerdict decide(double now, std::uint32_t node,
-                                    std::uint64_t outstanding) = 0;
+    [[nodiscard]] virtual AdmissionVerdict
+    decide(double now, std::uint32_t node,
+           std::uint64_t outstanding) = 0;
 
     /**
      * Observe one dispatch on `node`: the query waited `queue_delay`

@@ -79,12 +79,14 @@ Planner::plan(const PlanRequest &request) const
     PlanRequest solve_request = request;
     if (tiered)
         solve_request.system = twoTierProjection(request.system);
+    // lint:allow(no-wallclock): solve-time diagnostic only; never reaches the plan
     const auto t0 = std::chrono::steady_clock::now();
     out.plan = solve(solve_request, out.diag);
     if (tiered && out.diag.feasible)
         extendPlanToTiers(*request.model, *request.profiles,
                           request.system, out.plan);
     out.diag.solveSeconds = std::chrono::duration<double>(
+                                // lint:allow(no-wallclock): solve-time diagnostic only
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
     if (out.diag.feasible) {

@@ -129,7 +129,7 @@ class Planner
     virtual bool scalable() const { return true; }
 
     /** Solve the request; see class comment for the contract. */
-    PlanResult plan(const PlanRequest &request) const;
+    [[nodiscard]] PlanResult plan(const PlanRequest &request) const;
 
   protected:
     /**

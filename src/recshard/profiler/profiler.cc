@@ -72,6 +72,7 @@ DataProfiler::finalize()
             pf.dense.shrink_to_fit();
         } else {
             counts.reserve(pf.sparse.size());
+            // lint:allow(no-unordered-iteration): FrequencyCdf ctor sorts by (count, row)
             for (const auto &[row, count] : pf.sparse)
                 counts.emplace_back(row, count);
             pf.sparse.clear();

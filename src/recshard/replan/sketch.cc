@@ -105,6 +105,7 @@ RowFrequencySketch::observe(std::uint64_t row)
     } else if (h < kmvMax && kmv.insert(h).second) {
         kmv.erase(kmvMax);
         std::uint64_t next_max = 0;
+        // lint:allow(no-unordered-iteration): max over the set, order-insensitive
         for (const std::uint64_t v : kmv)
             next_max = std::max(next_max, v);
         kmvMax = next_max;
@@ -122,6 +123,7 @@ RowFrequencySketch::prune(std::size_t keep)
     if (candidates.size() <= keep)
         return;
     std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(
+        // lint:allow(no-unordered-iteration): nth_element by hotterFirst total order below
         candidates.begin(), candidates.end());
     // hotterFirst is a total order (row ids unique), so the kept
     // set is independent of map iteration order.
@@ -174,6 +176,7 @@ RowFrequencySketch::toCdf() const
         return FrequencyCdf(hashSize, {});
 
     std::vector<std::pair<std::uint64_t, std::uint64_t>> counts(
+        // lint:allow(no-unordered-iteration): sorted by hotterFirst total order below
         candidates.begin(), candidates.end());
     std::sort(counts.begin(), counts.end(), hotterFirst);
     if (counts.size() > cfg.topK)
@@ -232,6 +235,7 @@ RowFrequencySketch::decay()
 {
     for (std::uint32_t &c : counters)
         c >>= 1;
+    // lint:allow(no-unordered-iteration): per-entry halving, order-insensitive
     for (auto it = candidates.begin(); it != candidates.end();) {
         it->second >>= 1;
         if (it->second == 0)

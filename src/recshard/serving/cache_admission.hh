@@ -106,8 +106,8 @@ class CacheAdmission
      * @param full   Cache at capacity (admitting evicts `victim`).
      * @param victim LRU key that would be evicted (valid iff full).
      */
-    virtual bool admit(std::uint64_t key, bool full,
-                       std::uint64_t victim) = 0;
+    [[nodiscard]] virtual bool admit(std::uint64_t key, bool full,
+                                     std::uint64_t victim) = 0;
 
     /**
      * Estimated recent access frequency of a key (observability and

@@ -51,7 +51,7 @@ class LruRowCache
      *
      * @return true on a hit.
      */
-    bool touch(std::uint64_t key);
+    [[nodiscard]] bool touch(std::uint64_t key);
 
     /** Compose the cache key for one EMB row. */
     static std::uint64_t

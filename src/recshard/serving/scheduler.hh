@@ -21,12 +21,11 @@
 #ifndef RECSHARD_SERVING_SCHEDULER_HH
 #define RECSHARD_SERVING_SCHEDULER_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "recshard/base/sync.hh"
 #include "recshard/serving/load_generator.hh"
 
 namespace recshard {
@@ -96,39 +95,42 @@ class BatchScheduler
 /**
  * Bounded-free concurrent FIFO between the dispatcher and one
  * server thread. pop() blocks until an item arrives or the queue is
- * closed and drained.
+ * closed and drained. Locking discipline is compiler-checked: the
+ * queue state is GUARDED_BY(mu) and the CI clang build rejects any
+ * access outside a critical section (-Wthread-safety -Werror).
  */
 template <typename T>
 class WorkQueue
 {
   public:
     void
-    push(T item)
+    push(T item) EXCLUDES(mu)
     {
         {
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(mu);
             items.push_back(std::move(item));
         }
-        cv.notify_one();
+        cv.notifyOne();
     }
 
     /** No further pushes; wakes all blocked consumers. */
     void
-    close()
+    close() EXCLUDES(mu)
     {
         {
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(mu);
             closed = true;
         }
-        cv.notify_all();
+        cv.notifyAll();
     }
 
     /** @return false once closed and drained. */
     bool
-    pop(T &out)
+    pop(T &out) EXCLUDES(mu)
     {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [this] { return closed || !items.empty(); });
+        MutexLock lock(mu);
+        while (!closed && items.empty())
+            cv.wait(mu);
         if (items.empty())
             return false;
         out = std::move(items.front());
@@ -137,10 +139,10 @@ class WorkQueue
     }
 
   private:
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::deque<T> items;
-    bool closed = false;
+    mutable Mutex mu;
+    CondVar cv;
+    std::deque<T> items GUARDED_BY(mu);
+    bool closed GUARDED_BY(mu) = false;
 };
 
 } // namespace recshard

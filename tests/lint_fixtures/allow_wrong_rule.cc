@@ -1,0 +1,11 @@
+// Fixture: an allow names one rule; it must not suppress
+// another.
+#include <cstdlib>
+
+int
+roll()
+{
+
+    // lint:allow(no-wallclock): timing diagnostic
+    return std::rand();
+}

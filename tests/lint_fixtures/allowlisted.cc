@@ -1,0 +1,18 @@
+// Fixture: the lint:allow escape hatch — a previous-line
+// annotation and a same-line annotation, each carrying a reason.
+#include <chrono>
+#include <unordered_map>
+
+double
+solve()
+{
+    // lint:allow(no-wallclock): solve-time diagnostic only
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::unordered_map<int, int> weights;
+    weights[1] = 2;
+    double sum = 0;
+    for (const auto &kv : weights) // lint:allow(no-unordered-iteration): summed, order-insensitive
+        sum += kv.second;
+    return sum + static_cast<double>(t0.time_since_epoch().count());
+}

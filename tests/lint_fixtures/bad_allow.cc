@@ -1,0 +1,15 @@
+// Fixture: malformed allows are themselves violations and never
+// suppress — one missing its reason, one naming an unknown rule.
+#include <cstdlib>
+
+int
+chaos()
+{
+    int x = 0;
+    // lint:allow(no-rand):
+    x += std::rand();
+
+    // lint:allow(no-randomness): rolled dice
+    x += std::rand();
+    return x;
+}

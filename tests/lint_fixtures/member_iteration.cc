@@ -1,0 +1,13 @@
+// Iterates a member declared only in the paired header; the
+// header hint makes the site visible to the linter.
+#include "member_iteration_header.hh"
+
+unsigned long
+total(const PerFeature &pf)
+{
+    unsigned long sum = 0;
+
+    for (const auto &kv : pf.sparse)
+        sum += kv.second;
+    return sum;
+}

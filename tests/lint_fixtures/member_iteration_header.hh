@@ -1,0 +1,10 @@
+// Paired header for member_iteration.cc: declares the unordered
+// member that the .cc file iterates.
+#pragma once
+
+#include <unordered_map>
+
+struct PerFeature
+{
+    std::unordered_map<unsigned long, unsigned long> sparse;
+};

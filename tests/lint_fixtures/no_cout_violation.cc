@@ -1,0 +1,10 @@
+// Fixture: no-cout. std::cout belongs to report/ only; std::cerr
+// via base/logging.hh is the serving-path channel.
+#include <iostream>
+
+void
+show(double qps)
+{
+    std::cerr << "qps warn\n"; // cerr: legal
+    std::cout << qps << "\n";
+}

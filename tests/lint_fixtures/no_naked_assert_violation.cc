@@ -1,0 +1,13 @@
+// Fixture: no-naked-assert. static_assert is a compile-time
+// check and stays legal; runtime assert() must be panic_if.
+#include <cassert>
+
+static_assert(sizeof(int) >= 4, "ILP32+ assumed");
+
+int
+clamp(int v)
+{
+    // assert(v >= 0) in a comment is fine
+    assert(v >= 0);
+    return v;
+}

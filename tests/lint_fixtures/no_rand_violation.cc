@@ -1,0 +1,16 @@
+// Fixture: no-rand. rand() in comments and strings is legal;
+// the three code sites below are not.
+#include <cstdlib>
+#include <random>
+
+static const char *kDoc = "seed with srand() for chaos";
+
+int decide() {
+    std::srand(42);
+
+
+    std::random_device entropy;
+
+
+    return std::rand() + static_cast<int>(entropy()) + *kDoc;
+}

@@ -1,0 +1,17 @@
+// Fixture: no-raw-mutex. Raw std primitives are invisible to
+// clang thread-safety analysis; base/sync.hh wraps them in
+// capability-annotated types.
+#include <condition_variable>
+#include <mutex>
+
+struct Queue
+{
+    void push();
+    std::mutex mu;
+    std::condition_variable cv;
+};
+
+void Queue::push()
+{
+    std::lock_guard<std::mutex> lock(mu);
+}

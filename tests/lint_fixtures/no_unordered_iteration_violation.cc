@@ -1,0 +1,21 @@
+// Fixture: no-unordered-iteration. Probes (find/count/[]) are
+// fine; range-for and iterator pairs over unordered containers are not.
+#include <unordered_map>
+#include <vector>
+
+unsigned long
+tally(const std::vector<unsigned long> &ids)
+{
+    std::unordered_map<unsigned long, unsigned long> counts;
+    for (const unsigned long id : ids) // vector: legal
+        ++counts[id];
+
+    unsigned long total = 0;
+    for (const auto &kv : counts)
+        total += kv.second;
+
+    // iterator-pair construction is iteration all the same:
+    std::vector<std::pair<unsigned long, unsigned long>> flat(
+        counts.begin(), counts.end());
+    return total + flat.size();
+}

@@ -1,0 +1,21 @@
+// Fixture: no-wallclock. Member calls like cost.time(bytes) are
+// the cost model, not the wall clock, and stay legal; ::now(),
+// std::time() and bare clock() are wall-clock reads.
+#include <chrono>
+#include <ctime>
+
+double
+measure(const Cost &cost)
+{
+    double total = cost.time(512); // member call: legal
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // the C library reader:
+    const std::time_t stamp = std::time(nullptr);
+
+    // bare clock():
+    total += static_cast<double>(clock());
+    return total + static_cast<double>(stamp) +
+        static_cast<double>(t0.time_since_epoch().count());
+}

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * recshard_lint rule-engine tests.
+ *
+ * Fixture files under tests/lint_fixtures/ pin each rule's
+ * detection — exact rule id and line number — plus the
+ * lint:allow escape hatch; the live-tree self-check keeps
+ * src/recshard clean forever (the same check the `recshard_lint`
+ * ctest target and the CI static-analysis job run).
+ *
+ * Fixtures are linted under *virtual* src/recshard paths so the
+ * per-directory policy map is exercised exactly as in production;
+ * the fixture directory itself is never compiled.
+ */
+
+#include "tools/lint/lint.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace recshard::lint {
+namespace {
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(RECSHARD_LINT_FIXTURES) + "/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "missing fixture " << path;
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+/** Lint a fixture as though it lived at `virtual_path`. */
+std::vector<Finding>
+lintFixture(const std::string &name,
+            const std::string &virtual_path,
+            const std::string &header_fixture = "")
+{
+    const std::string header =
+        header_fixture.empty() ? "" : readFixture(header_fixture);
+    return lintFile(virtual_path, readFixture(name), header);
+}
+
+/** The (rule, line) pairs of a finding list, for exact matching. */
+std::vector<std::pair<std::string, int>>
+ruleLines(const std::vector<Finding> &findings)
+{
+    std::vector<std::pair<std::string, int>> out;
+    out.reserve(findings.size());
+    for (const Finding &f : findings)
+        out.emplace_back(f.rule, f.line);
+    return out;
+}
+
+using RL = std::vector<std::pair<std::string, int>>;
+
+// ------------------------------------------------------ per-rule fixtures
+
+TEST(LintRules, NoRandFlagsEachNondeterministicSource)
+{
+    const auto found = ruleLines(lintFixture(
+        "no_rand_violation.cc", "src/recshard/planner/bad.cc"));
+    EXPECT_EQ(found, (RL{{"no-rand", 9},
+                         {"no-rand", 12},
+                         {"no-rand", 15}}));
+}
+
+TEST(LintRules, NoWallclockFlagsClockReadsButNotCostModelCalls)
+{
+    const auto found =
+        ruleLines(lintFixture("no_wallclock_violation.cc",
+                              "src/recshard/sharding/bad.cc"));
+    EXPECT_EQ(found, (RL{{"no-wallclock", 12},
+                         {"no-wallclock", 15},
+                         {"no-wallclock", 18}}));
+}
+
+TEST(LintRules, NoUnorderedIterationFlagsRangeForAndIteratorPairs)
+{
+    const auto found =
+        ruleLines(lintFixture("no_unordered_iteration_violation.cc",
+                              "src/recshard/replan/bad.cc"));
+    EXPECT_EQ(found, (RL{{"no-unordered-iteration", 14},
+                         {"no-unordered-iteration", 19}}));
+}
+
+TEST(LintRules, NoUnorderedIterationSeesPairedHeaderMembers)
+{
+    // The member is declared in the (virtual) header; the .cc only
+    // iterates it. Without the header hint the site is invisible.
+    const auto blind =
+        ruleLines(lintFixture("member_iteration.cc",
+                              "src/recshard/profiler/bad.cc"));
+    EXPECT_EQ(blind, RL{});
+    const auto found = ruleLines(
+        lintFixture("member_iteration.cc",
+                    "src/recshard/profiler/bad.cc",
+                    "member_iteration_header.hh"));
+    EXPECT_EQ(found, (RL{{"no-unordered-iteration", 10}}));
+}
+
+TEST(LintRules, NoNakedAssertFlagsAssertButNotStaticAssert)
+{
+    const auto found =
+        ruleLines(lintFixture("no_naked_assert_violation.cc",
+                              "src/recshard/base/bad.cc"));
+    EXPECT_EQ(found, (RL{{"no-naked-assert", 11}}));
+}
+
+TEST(LintRules, NoCoutFlagsOutsideReportOnly)
+{
+    const auto found = ruleLines(lintFixture(
+        "no_cout_violation.cc", "src/recshard/serving/bad.cc"));
+    EXPECT_EQ(found, (RL{{"no-cout", 9}}));
+    // The identical file under report/ is legal.
+    EXPECT_EQ(ruleLines(lintFixture("no_cout_violation.cc",
+                                    "src/recshard/report/ok.cc")),
+              RL{});
+}
+
+TEST(LintRules, NoRawMutexFlagsStdMutexFamilyOutsideBase)
+{
+    const auto found =
+        ruleLines(lintFixture("no_raw_mutex_violation.cc",
+                              "src/recshard/serving/bad.cc"));
+    EXPECT_EQ(found, (RL{{"no-raw-mutex", 10},
+                         {"no-raw-mutex", 11},
+                         {"no-raw-mutex", 16}}));
+    // base/ wraps the raw primitives by design.
+    EXPECT_EQ(ruleLines(lintFixture("no_raw_mutex_violation.cc",
+                                    "src/recshard/base/ok.cc")),
+              RL{});
+}
+
+// ------------------------------------------------------- the escape hatch
+
+TEST(LintAllow, WellFormedAllowSuppressesSameAndNextLine)
+{
+    EXPECT_EQ(ruleLines(lintFixture(
+                  "allowlisted.cc", "src/recshard/planner/ok.cc")),
+              RL{});
+}
+
+TEST(LintAllow, AllowWithoutReasonIsItselfAViolation)
+{
+    const auto found = ruleLines(lintFixture(
+        "bad_allow.cc", "src/recshard/planner/bad.cc"));
+    EXPECT_EQ(found, (RL{{"bad-allow", 9},
+                         {"no-rand", 10},
+                         {"bad-allow", 12},
+                         {"no-rand", 13}}));
+}
+
+TEST(LintAllow, AllowForOneRuleDoesNotSuppressAnother)
+{
+    const auto found = ruleLines(lintFixture(
+        "allow_wrong_rule.cc", "src/recshard/planner/bad.cc"));
+    EXPECT_EQ(found, (RL{{"no-rand", 10}}));
+}
+
+// ------------------------------------------------------------ policy map
+
+TEST(LintPolicy, DecisionDirsGetDeterminismRules)
+{
+    const Policy p = policyFor("src/recshard/planner/planner.cc");
+    EXPECT_TRUE(p.noRand);
+    EXPECT_TRUE(p.noWallclock);
+    EXPECT_TRUE(p.noUnorderedIteration);
+    EXPECT_TRUE(p.noNakedAssert);
+    EXPECT_TRUE(p.noCout);
+    EXPECT_TRUE(p.noRawMutex);
+}
+
+TEST(LintPolicy, NonDecisionDirsKeepOnlyHygieneRules)
+{
+    const Policy p = policyFor("src/recshard/milp/branch_bound.cc");
+    EXPECT_FALSE(p.noRand);
+    EXPECT_FALSE(p.noWallclock);
+    EXPECT_FALSE(p.noUnorderedIteration);
+    EXPECT_TRUE(p.noNakedAssert);
+    EXPECT_TRUE(p.noRawMutex);
+}
+
+TEST(LintPolicy, RealtimeBackendIsExemptFromWallclockOnly)
+{
+    const Policy p = policyFor("src/recshard/routing/realtime.cc");
+    EXPECT_FALSE(p.noWallclock);
+    EXPECT_TRUE(p.noRand);
+    EXPECT_TRUE(p.noUnorderedIteration);
+}
+
+TEST(LintPolicy, BaseIsExemptFromRawMutexAndOutsidersAreNot)
+{
+    EXPECT_FALSE(policyFor("src/recshard/base/sync.hh").noRawMutex);
+    EXPECT_TRUE(
+        policyFor("src/recshard/serving/scheduler.hh").noRawMutex);
+}
+
+TEST(LintPolicy, PathsOutsideTreeAreIgnored)
+{
+    EXPECT_FALSE(policyFor("bench/bench_micro.cc").any());
+    EXPECT_FALSE(policyFor("tools/lint/main.cc").any());
+}
+
+// -------------------------------------------------------- live-tree gate
+
+TEST(LintTree, LiveSourceTreeIsClean)
+{
+    const auto findings = lintTree(RECSHARD_SOURCE_ROOT);
+    std::ostringstream os;
+    for (const Finding &f : findings)
+        os << formatFinding(f) << "\n";
+    EXPECT_TRUE(findings.empty())
+        << "src/recshard has lint violations:\n"
+        << os.str();
+}
+
+} // namespace
+} // namespace recshard::lint

@@ -1,0 +1,717 @@
+#include "tools/lint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace recshard::lint {
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Result of splitting a file into code and comments. */
+struct ScanText
+{
+    /** Same length as the input; comments and string/char literals
+     *  blanked to spaces (newlines preserved). */
+    std::string code;
+    /** Comment text per 1-based line (concatenated if several). */
+    std::map<int, std::string> comments;
+    /** Offset of each line start in `code`, for offset->line. */
+    std::vector<std::size_t> lineStarts;
+};
+
+/**
+ * Blank comments and string/char literals. Token-level fidelity is
+ * all the rules need; the one C++ lexing subtlety handled specially
+ * is digit separators (1'000'000), which must not open a char
+ * literal.
+ */
+ScanText
+scan(const std::string &text)
+{
+    ScanText out;
+    out.code.assign(text.size(), ' ');
+    out.lineStarts.push_back(0);
+
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    auto keep = [&](std::size_t j) { out.code[j] = text[j]; };
+    auto newline = [&](std::size_t j) {
+        out.code[j] = '\n';
+        ++line;
+        out.lineStarts.push_back(j + 1);
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            newline(i);
+            ++i;
+            continue;
+        }
+        // Line comment: capture its text for lint:allow parsing.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            std::size_t j = i;
+            while (j < n && text[j] != '\n')
+                ++j;
+            out.comments[line] += text.substr(i, j - i);
+            i = j;
+            continue;
+        }
+        // Block comment (may span lines).
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            std::size_t j = i + 2;
+            std::size_t seg = i;
+            while (j + 1 < n &&
+                   !(text[j] == '*' && text[j + 1] == '/')) {
+                if (text[j] == '\n') {
+                    out.comments[line] +=
+                        text.substr(seg, j - seg);
+                    newline(j);
+                    seg = j + 1;
+                }
+                ++j;
+            }
+            j = j + 1 < n ? j + 2 : n;
+            out.comments[line] += text.substr(seg, j - seg);
+            i = j;
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+            (i == 0 || !isIdentChar(text[i - 1]))) {
+            std::size_t d = i + 2;
+            while (d < n && text[d] != '(' && text[d] != '\n')
+                ++d;
+            const std::string close =
+                ")" + text.substr(i + 2, d - (i + 2)) + "\"";
+            std::size_t j = text.find(close, d);
+            j = j == std::string::npos ? n : j + close.size();
+            for (std::size_t k = i; k < j; ++k)
+                if (text[k] == '\n')
+                    newline(k);
+            i = j;
+            continue;
+        }
+        // String literal.
+        if (c == '"') {
+            std::size_t j = i + 1;
+            while (j < n && text[j] != '"' && text[j] != '\n') {
+                if (text[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            i = j < n ? j + 1 : n;
+            continue;
+        }
+        // Char literal — unless this quote is a digit separator
+        // (both neighbors are identifier characters).
+        if (c == '\'') {
+            if (i > 0 && isIdentChar(text[i - 1]) && i + 1 < n &&
+                isIdentChar(text[i + 1])) {
+                ++i; // 1'000'000
+                continue;
+            }
+            std::size_t j = i + 1;
+            while (j < n && text[j] != '\'' && text[j] != '\n') {
+                if (text[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            i = j < n ? j + 1 : n;
+            continue;
+        }
+        keep(i);
+        ++i;
+    }
+    return out;
+}
+
+int
+lineOf(const ScanText &st, std::size_t offset)
+{
+    const auto it = std::upper_bound(st.lineStarts.begin(),
+                                     st.lineStarts.end(), offset);
+    return static_cast<int>(it - st.lineStarts.begin());
+}
+
+/** Whole-word occurrences of `word` in the code view. */
+std::vector<std::size_t>
+findWord(const std::string &code, const std::string &word)
+{
+    std::vector<std::size_t> hits;
+    std::size_t pos = 0;
+    while ((pos = code.find(word, pos)) != std::string::npos) {
+        const bool left_ok =
+            pos == 0 || !isIdentChar(code[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok =
+            end >= code.size() || !isIdentChar(code[end]);
+        if (left_ok && right_ok)
+            hits.push_back(pos);
+        pos = end;
+    }
+    return hits;
+}
+
+/** First non-space character before `pos`, or '\0'. */
+char
+prevSignificant(const std::string &code, std::size_t pos,
+                std::size_t *where = nullptr)
+{
+    while (pos > 0) {
+        --pos;
+        const char c = code[pos];
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+            if (where)
+                *where = pos;
+            return c;
+        }
+    }
+    return '\0';
+}
+
+/** Does `(` follow (skipping whitespace)? */
+bool
+callFollows(const std::string &code, std::size_t end)
+{
+    while (end < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[end])))
+        ++end;
+    return end < code.size() && code[end] == '(';
+}
+
+/** The identifier ending at `end` (exclusive), or "". */
+std::string
+identEndingAt(const std::string &code, std::size_t end)
+{
+    std::size_t b = end;
+    while (b > 0 && isIdentChar(code[b - 1]))
+        --b;
+    return code.substr(b, end - b);
+}
+
+/**
+ * Names declared as std::unordered_map / std::unordered_set in the
+ * code view: after the template argument list (angle brackets
+ * balanced), the next identifier is taken as the declared name.
+ * Matches members, locals, and parameters; deliberately ignores
+ * `using` aliases (none in the tree; see README limitations).
+ */
+std::set<std::string>
+unorderedDeclarations(const std::string &code)
+{
+    std::set<std::string> names;
+    for (const char *type : {"unordered_map", "unordered_set"}) {
+        for (const std::size_t pos : findWord(code, type)) {
+            std::size_t j = pos + std::string(type).size();
+            while (j < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[j])))
+                ++j;
+            if (j >= code.size() || code[j] != '<')
+                continue;
+            int depth = 0;
+            for (; j < code.size(); ++j) {
+                if (code[j] == '<')
+                    ++depth;
+                else if (code[j] == '>' && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+            // Skip whitespace, '&', '*' before the name.
+            while (j < code.size() &&
+                   (std::isspace(
+                        static_cast<unsigned char>(code[j])) ||
+                    code[j] == '&' || code[j] == '*'))
+                ++j;
+            std::size_t b = j;
+            while (j < code.size() && isIdentChar(code[j]))
+                ++j;
+            if (j > b)
+                names.insert(code.substr(b, j - b));
+        }
+    }
+    return names;
+}
+
+/** lint:allow(<rule>): <reason> annotations found in comments. */
+struct Allow
+{
+    int line; //!< line the annotation sits on
+    std::string rule;
+    bool wellFormed; //!< known rule id and non-empty reason
+};
+
+std::vector<Allow>
+parseAllows(const ScanText &st)
+{
+    std::vector<Allow> out;
+    static const std::string kTag = "lint:allow(";
+    for (const auto &[line, comment] : st.comments) {
+        std::size_t pos = 0;
+        while ((pos = comment.find(kTag, pos)) !=
+               std::string::npos) {
+            const std::size_t open = pos + kTag.size();
+            const std::size_t close = comment.find(')', open);
+            pos = open;
+            if (close == std::string::npos)
+                continue;
+            Allow a;
+            a.line = line;
+            a.rule = comment.substr(open, close - open);
+            bool known = false;
+            for (const RuleInfo &r : rules())
+                known = known || r.id == a.rule;
+            // Reason: non-whitespace after "): ".
+            bool reason = false;
+            std::size_t r = close + 1;
+            if (r < comment.size() && comment[r] == ':') {
+                for (++r; r < comment.size(); ++r)
+                    if (!std::isspace(static_cast<unsigned char>(
+                            comment[r]))) {
+                        reason = true;
+                        break;
+                    }
+            }
+            a.wellFormed = known && reason;
+            out.push_back(a);
+        }
+    }
+    return out;
+}
+
+/** Emission context shared by the rule checkers. */
+struct Emitter
+{
+    const std::string &path;
+    const ScanText &st;
+    const std::vector<Allow> &allows;
+    std::vector<Finding> &findings;
+    /** (line, rule) pairs already reported (dedupe). */
+    std::set<std::pair<int, std::string>> seen;
+
+    void
+    emit(std::size_t offset, const std::string &rule,
+         const std::string &message)
+    {
+        const int line = lineOf(st, offset);
+        if (!seen.insert({line, rule}).second)
+            return;
+        // A well-formed allow on this line or the line above
+        // suppresses the finding.
+        for (const Allow &a : allows)
+            if (a.wellFormed && a.rule == rule &&
+                (a.line == line || a.line == line - 1))
+                return;
+        findings.push_back({path, line, rule, message});
+    }
+};
+
+void
+checkRand(Emitter &em)
+{
+    const std::string &code = em.st.code;
+    for (const char *word : {"srand", "random_device"})
+        for (const std::size_t pos : findWord(code, word))
+            em.emit(pos, "no-rand",
+                    std::string(word) +
+                        " is nondeterministic on a decision path; "
+                        "use a seeded generator from base/random");
+    for (const std::size_t pos : findWord(code, "rand"))
+        if (callFollows(code, pos + 4))
+            em.emit(pos, "no-rand",
+                    "rand() is nondeterministic on a decision "
+                    "path; use a seeded generator from "
+                    "base/random");
+}
+
+void
+checkWallclock(Emitter &em)
+{
+    const std::string &code = em.st.code;
+    // Any ::now( — steady_clock, system_clock, Clock aliases.
+    for (const std::size_t pos : findWord(code, "now")) {
+        if (!callFollows(code, pos + 3))
+            continue;
+        std::size_t where = 0;
+        if (prevSignificant(code, pos, &where) == ':' &&
+            where > 0 && code[where - 1] == ':')
+            em.emit(pos, "no-wallclock",
+                    "::now() reads the wall clock on a decision "
+                    "path; virtual time is carried by the trace");
+    }
+    // Bare time( / clock( calls (member calls x.time(...) are the
+    // cost model, not the wall clock) and the POSIX readers.
+    for (const char *word : {"time", "clock"}) {
+        for (const std::size_t pos : findWord(code, word)) {
+            if (!callFollows(code, pos + std::strlen(word)))
+                continue;
+            std::size_t where = 0;
+            const char prev = prevSignificant(code, pos, &where);
+            if (prev == '.')
+                continue; // member call: cost.time(...)
+            if (prev == '>' && where > 0 && code[where - 1] == '-')
+                continue; // ptr->time(...)
+            if (prev == ':') {
+                // Qualified: only std::time / std::clock are the
+                // C wall-clock readers.
+                const std::string qual = identEndingAt(
+                    code, where >= 1 ? where - 1 : 0);
+                if (qual != "std")
+                    continue;
+            }
+            em.emit(pos, "no-wallclock",
+                    std::string(word) +
+                        "() reads the wall clock on a decision "
+                        "path; virtual time is carried by the "
+                        "trace");
+        }
+    }
+    for (const char *word : {"gettimeofday", "clock_gettime"})
+        for (const std::size_t pos : findWord(code, word))
+            em.emit(pos, "no-wallclock",
+                    std::string(word) +
+                        " reads the wall clock on a decision path");
+}
+
+void
+checkUnorderedIteration(Emitter &em,
+                        const std::set<std::string> &unordered)
+{
+    if (unordered.empty())
+        return;
+    const std::string &code = em.st.code;
+
+    // Range-for whose range expression's trailing identifier is a
+    // declared unordered container: for (auto &kv : pf.sparse).
+    for (const std::size_t pos : findWord(code, "for")) {
+        std::size_t j = pos + 3;
+        while (j < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[j])))
+            ++j;
+        if (j >= code.size() || code[j] != '(')
+            continue;
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        std::size_t close = std::string::npos;
+        for (std::size_t k = j; k < code.size(); ++k) {
+            const char c = code[k];
+            if (c == '(')
+                ++depth;
+            else if (c == ')') {
+                if (--depth == 0) {
+                    close = k;
+                    break;
+                }
+            } else if (c == ':' && depth == 1 &&
+                       colon == std::string::npos) {
+                const bool dbl =
+                    (k > 0 && code[k - 1] == ':') ||
+                    (k + 1 < code.size() && code[k + 1] == ':');
+                if (!dbl)
+                    colon = k;
+            }
+        }
+        if (colon == std::string::npos ||
+            close == std::string::npos)
+            continue;
+        // Trailing identifier of the range expression.
+        std::size_t e = close;
+        while (e > colon && (std::isspace(static_cast<unsigned char>(
+                                 code[e - 1])) ||
+                             code[e - 1] == ')'))
+            --e;
+        const std::string name = identEndingAt(code, e);
+        if (unordered.count(name))
+            em.emit(pos, "no-unordered-iteration",
+                    "iteration over unordered container '" + name +
+                        "': hash order is implementation-defined "
+                        "and must never reach a plan or report");
+    }
+
+    // ident.begin()/.cbegin() — iterator-pair use (e.g.
+    // constructing a vector) is iteration all the same. Only
+    // begin() triggers: iteration necessarily starts there, while
+    // a bare `it != c.end()` is the find()-probe idiom, not a walk.
+    for (const char *word : {"begin", "cbegin"}) {
+        for (const std::size_t pos : findWord(code, word)) {
+            if (!callFollows(code, pos + std::strlen(word)))
+                continue;
+            std::size_t where = 0;
+            if (prevSignificant(code, pos, &where) != '.')
+                continue;
+            const std::string name = identEndingAt(code, where);
+            if (unordered.count(name))
+                em.emit(pos, "no-unordered-iteration",
+                        "iterator over unordered container '" +
+                            name +
+                            "': hash order is implementation-"
+                            "defined and must never reach a plan "
+                            "or report");
+        }
+    }
+}
+
+void
+checkNakedAssert(Emitter &em)
+{
+    for (const std::size_t pos : findWord(em.st.code, "assert"))
+        if (callFollows(em.st.code, pos + 6))
+            em.emit(pos, "no-naked-assert",
+                    "assert() vanishes under NDEBUG; use "
+                    "panic_if/fatal_if from base/logging.hh");
+}
+
+void
+checkCout(Emitter &em)
+{
+    const std::string &code = em.st.code;
+    for (const std::size_t pos : findWord(code, "cout")) {
+        std::size_t where = 0;
+        if (prevSignificant(code, pos, &where) == ':' &&
+            where >= 1 && code[where - 1] == ':' &&
+            identEndingAt(code, where - 1) == "std")
+            em.emit(pos, "no-cout",
+                    "std::cout outside report/ pollutes serving "
+                    "output; route through report/ or "
+                    "base/logging.hh");
+    }
+}
+
+void
+checkRawMutex(Emitter &em)
+{
+    static const char *kBanned[] = {
+        "mutex",          "timed_mutex", "recursive_mutex",
+        "shared_mutex",   "lock_guard",  "unique_lock",
+        "scoped_lock",    "shared_lock", "condition_variable",
+        "condition_variable_any",
+    };
+    const std::string &code = em.st.code;
+    for (const char *word : kBanned) {
+        for (const std::size_t pos : findWord(code, word)) {
+            std::size_t where = 0;
+            if (prevSignificant(code, pos, &where) == ':' &&
+                where >= 1 && code[where - 1] == ':' &&
+                identEndingAt(code, where - 1) == "std")
+                em.emit(pos, "no-raw-mutex",
+                        "std::" + std::string(word) +
+                            " is invisible to clang thread-safety "
+                            "analysis; use "
+                            "Mutex/MutexLock/CondVar from "
+                            "base/sync.hh");
+        }
+    }
+}
+
+/** Report malformed lint:allow annotations. */
+void
+checkAllows(Emitter &em)
+{
+    for (const Allow &a : em.allows)
+        if (!a.wellFormed)
+            em.findings.push_back(
+                {em.path, a.line, "bad-allow",
+                 "malformed lint:allow — must be "
+                 "'lint:allow(<known-rule>): <reason>' with a "
+                 "non-empty reason (got rule '" +
+                     a.rule + "')"});
+}
+
+/** Longest src/recshard-relative suffix of `path`, or "". */
+std::string
+repoRelative(const std::string &path)
+{
+    const std::size_t pos = path.rfind("src/recshard/");
+    return pos == std::string::npos ? "" : path.substr(pos);
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+rules()
+{
+    static const std::vector<RuleInfo> kRules = {
+        {"no-rand",
+         "std::rand/srand/random_device on a decision path"},
+        {"no-wallclock",
+         "::now()/time()/clock() wall-clock reads on a decision "
+         "path"},
+        {"no-unordered-iteration",
+         "iteration over std::unordered_map/std::unordered_set on "
+         "a decision path"},
+        {"no-naked-assert",
+         "assert() in src/ — use panic_if/fatal_if"},
+        {"no-cout", "std::cout outside report/"},
+        {"no-raw-mutex",
+         "raw std::mutex family outside base/ — use base/sync.hh"},
+        {"bad-allow",
+         "malformed lint:allow(<rule>): <reason> annotation"},
+    };
+    return kRules;
+}
+
+Policy
+policyFor(const std::string &path)
+{
+    Policy p;
+    const std::string rel = repoRelative(path);
+    if (rel.empty())
+        return p; // outside src/recshard: nothing enforced
+
+    const std::string mod =
+        rel.substr(std::string("src/recshard/").size());
+    const auto inDir = [&](const char *dir) {
+        return mod.rfind(std::string(dir) + "/", 0) == 0;
+    };
+
+    // Hygiene rules: everywhere in src/.
+    p.noNakedAssert = true;
+    p.noCout = !inDir("report"); // report/ renders tables to stdout
+    p.noRawMutex = !inDir("base"); // base/sync.hh wraps the raw one
+
+    // Determinism rules: the decision-path modules. profiler/ and
+    // dist/ build the CDFs every plan is a function of; serving/
+    // owns the cache whose ledger must stay backend-byte-equal.
+    static const char *kDecisionDirs[] = {
+        "planner", "sharding", "tiering",  "routing", "replan",
+        "overload", "report",  "profiler", "serving", "dist",
+    };
+    bool decision = false;
+    for (const char *dir : kDecisionDirs)
+        decision = decision || inDir(dir);
+    p.noRand = decision;
+    p.noWallclock = decision;
+    p.noUnorderedIteration = decision;
+
+    // Per-file exceptions: the wall-clock serving backend measures
+    // real time by design.
+    if (mod == "routing/realtime.hh" ||
+        mod == "routing/realtime.cc")
+        p.noWallclock = false;
+
+    return p;
+}
+
+std::vector<Finding>
+lintFile(const std::string &path, const std::string &contents,
+         const std::string &header_contents)
+{
+    const Policy policy = policyFor(path);
+    std::vector<Finding> findings;
+
+    const ScanText st = scan(contents);
+    const std::vector<Allow> allows = parseAllows(st);
+    Emitter em{path, st, allows, findings, {}};
+
+    // Malformed allows are reported wherever any linting happens —
+    // a broken annotation must never silently suppress.
+    checkAllows(em);
+    if (!policy.any())
+        return findings;
+
+    if (policy.noRand)
+        checkRand(em);
+    if (policy.noWallclock)
+        checkWallclock(em);
+    if (policy.noUnorderedIteration) {
+        std::set<std::string> unordered =
+            unorderedDeclarations(st.code);
+        if (!header_contents.empty()) {
+            const ScanText hdr = scan(header_contents);
+            for (const std::string &name :
+                 unorderedDeclarations(hdr.code))
+                unordered.insert(name);
+        }
+        checkUnorderedIteration(em, unordered);
+    }
+    if (policy.noNakedAssert)
+        checkNakedAssert(em);
+    if (policy.noCout)
+        checkCout(em);
+    if (policy.noRawMutex)
+        checkRawMutex(em);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.line != b.line ? a.line < b.line
+                                          : a.rule < b.rule;
+              });
+    return findings;
+}
+
+std::vector<Finding>
+lintTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<Finding> findings;
+    const fs::path base = fs::path(root) / "src" / "recshard";
+    if (!fs::exists(base)) {
+        findings.push_back({base.string(), 0, "io-error",
+                            "source tree not found"});
+        return findings;
+    }
+
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::recursive_directory_iterator(base))
+        if (entry.is_regular_file()) {
+            const std::string ext = entry.path().extension();
+            if (ext == ".hh" || ext == ".cc" || ext == ".h" ||
+                ext == ".cpp")
+                files.push_back(entry.path());
+        }
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            findings.push_back(
+                {file.string(), 0, "io-error", "unreadable file"});
+            continue;
+        }
+        std::ostringstream body;
+        body << in.rdbuf();
+
+        std::string header;
+        if (file.extension() == ".cc" ||
+            file.extension() == ".cpp") {
+            fs::path hh = file;
+            hh.replace_extension(".hh");
+            std::ifstream hin(hh);
+            if (hin) {
+                std::ostringstream hs;
+                hs << hin.rdbuf();
+                header = hs.str();
+            }
+        }
+        std::vector<Finding> file_findings =
+            lintFile(file.string(), body.str(), header);
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
+    }
+    return findings;
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    std::ostringstream os;
+    os << finding.file << ":" << finding.line << ": ["
+       << finding.rule << "] " << finding.message;
+    return os.str();
+}
+
+} // namespace recshard::lint

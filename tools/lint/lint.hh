@@ -1,0 +1,134 @@
+/**
+ * @file
+ * recshard_lint — determinism & hygiene static analysis for the
+ * RecShard tree.
+ *
+ * The repo's load-bearing guarantee is that every plan, report, and
+ * migration step is a pure function of (cluster, trace, config):
+ * the DES router is the real-threads backend's deterministic twin
+ * (byte-equal ledgers) and replan reports are bit-identical across
+ * runs. Differential tests catch violations after they ship; this
+ * linter catches the classic sources *in the diff*:
+ *
+ *   no-rand                std::rand/srand/random_device on a
+ *                          decision path (seeded mt19937 via
+ *                          base/random stays legal — it is
+ *                          deterministic by construction).
+ *   no-wallclock           ::now() / time( / clock( wall-clock
+ *                          reads on a decision path. Virtual time
+ *                          is data; the wall clock is not.
+ *   no-unordered-iteration range-for or .begin()/.cbegin() over an
+ *                          identifier declared as
+ *                          std::unordered_map/std::unordered_set
+ *                          in the same file (or its paired header).
+ *                          Hash-map iteration order is the classic
+ *                          determinism leak.
+ *   no-naked-assert        assert() in src/ — use panic_if/fatal_if
+ *                          (base/logging.hh), which survive NDEBUG
+ *                          and print context.
+ *   no-cout                std::cout outside report/ (benches and
+ *                          examples are not scanned) — serving-path
+ *                          code must not write to stdout.
+ *   no-raw-mutex           std::mutex / std::condition_variable /
+ *                          std::lock_guard etc. outside base/ —
+ *                          use the annotated wrappers in
+ *                          base/sync.hh so clang thread-safety
+ *                          analysis sees the capability.
+ *   bad-allow              a lint:allow annotation that names an
+ *                          unknown rule or omits the reason.
+ *
+ * Which rules apply where is a per-directory policy (policyFor):
+ * the determinism rules cover the decision-path modules, the
+ * hygiene rules cover all of src/, and routing/realtime.* (the
+ * wall-clock backend) and base/ carry explicit exceptions. A
+ * violation is suppressible only by an inline annotation
+ *
+ *     // lint:allow(<rule>): <reason>
+ *
+ * on the finding's line or the line above, so every exception is
+ * visible and justified in the diff. The scanner is token-level:
+ * comments and string/char literals are blanked before matching,
+ * so documentation may discuss rand() freely.
+ */
+
+#ifndef RECSHARD_TOOLS_LINT_LINT_HH
+#define RECSHARD_TOOLS_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace recshard::lint {
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file; //!< path as given to lintFile
+    int line = 0;     //!< 1-based
+    std::string rule; //!< rule id, e.g. "no-unordered-iteration"
+    std::string message;
+};
+
+/** Rule metadata (documentation order). */
+struct RuleInfo
+{
+    std::string id;
+    std::string summary;
+};
+
+/** Every rule the engine knows, documentation order. */
+const std::vector<RuleInfo> &rules();
+
+/** Rules enabled for one file path. */
+struct Policy
+{
+    bool noRand = false;
+    bool noWallclock = false;
+    bool noUnorderedIteration = false;
+    bool noNakedAssert = false;
+    bool noCout = false;
+    bool noRawMutex = false;
+
+    bool any() const
+    {
+        return noRand || noWallclock || noUnorderedIteration ||
+            noNakedAssert || noCout || noRawMutex;
+    }
+};
+
+/**
+ * Per-directory policy map. `path` is matched on its
+ * "src/recshard/<module>/..." suffix; paths outside src/recshard
+ * get an empty policy (nothing enforced). See tools/lint/README.md
+ * for the full table.
+ */
+Policy policyFor(const std::string &path);
+
+/**
+ * Lint one file's contents against policyFor(path).
+ *
+ * @param path            Path used for policy selection and
+ *                        reporting (need not exist on disk).
+ * @param contents        The file's text.
+ * @param header_contents Optional paired-header text; only its
+ *                        unordered-container declarations are
+ *                        consulted, so member iteration in a .cc
+ *                        over a member declared in its .hh is
+ *                        caught.
+ */
+std::vector<Finding> lintFile(const std::string &path,
+                              const std::string &contents,
+                              const std::string &header_contents = "");
+
+/**
+ * Lint every .hh/.cc under `root`/src/recshard (sorted walk;
+ * deterministic output order). Fatal-free: IO problems surface as
+ * findings with rule "io-error".
+ */
+std::vector<Finding> lintTree(const std::string &root);
+
+/** "path:line: [rule] message" */
+std::string formatFinding(const Finding &finding);
+
+} // namespace recshard::lint
+
+#endif // RECSHARD_TOOLS_LINT_LINT_HH

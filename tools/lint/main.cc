@@ -1,0 +1,63 @@
+/**
+ * @file
+ * recshard_lint CLI.
+ *
+ *   recshard_lint [--root <repo-root>] [--list-rules]
+ *
+ * Lints every .hh/.cc under <root>/src/recshard against the
+ * per-directory policies in tools/lint/lint.cc and prints one line
+ * per violation. Exit status: 0 clean, 1 violations found, 2 usage
+ * or IO error. Runs as the `recshard_lint` ctest target and in the
+ * CI static-analysis job, so an unallowlisted violation fails
+ * tier-1 verify.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tools/lint/lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--list-rules") {
+            for (const auto &rule : recshard::lint::rules())
+                std::cout << rule.id << "\t" << rule.summary
+                          << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: recshard_lint [--root <dir>] "
+                         "[--list-rules]\n";
+            return 0;
+        } else {
+            std::cerr << "recshard_lint: unknown argument '" << arg
+                      << "'\n";
+            return 2;
+        }
+    }
+
+    const auto findings = recshard::lint::lintTree(root);
+    bool io_error = false;
+    for (const auto &finding : findings) {
+        std::cout << recshard::lint::formatFinding(finding) << "\n";
+        io_error = io_error || finding.rule == "io-error";
+    }
+    if (io_error)
+        return 2;
+    if (!findings.empty()) {
+        std::cout << findings.size()
+                  << " violation(s). Fix them, or annotate a "
+                     "justified exception with "
+                     "'// lint:allow(<rule>): <reason>' "
+                     "(tools/lint/README.md).\n";
+        return 1;
+    }
+    std::cout << "recshard_lint: clean\n";
+    return 0;
+}
