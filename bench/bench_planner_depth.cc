@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The planner-depth acceptance bench, with its headline as the exit
+ * code:
+ *
+ *  1. Quality/speed gate — on every MILP-feasible table set the
+ *     "lp-rounding" planner must land within 2% of the exact MILP's
+ *     uniform bottleneck cost at >= 10x the MILP's solve speed
+ *     (the LP relaxation solves once; branch-and-bound re-solves an
+ *     LP per node).
+ *  2. rm1 gate — "lp-rounding" and "anneal" must produce feasible,
+ *     validated, seed-deterministic plans on the rm1 zoo, on a
+ *     2-tier node and on a 3-tier (HBM/DRAM/SSD) node.
+ *  3. Granularity sweep — the knee-style ICDF step autotuner's
+ *     doubling sweep, printed per granularity, plus the per-table
+ *     "recshard-tuned" planner against the uniform baseline.
+ *
+ * Any gate failure exits non-zero, so CI can smoke-run this binary
+ * as a hard check.
+ *
+ * Run:   ./bench_planner_depth [--trials N] [--scale F] ...
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "recshard/base/flags.hh"
+#include "recshard/base/table.hh"
+#include "recshard/base/units.hh"
+#include "recshard/datagen/model_zoo.hh"
+#include "recshard/planner/autotune.hh"
+#include "recshard/planner/registry.hh"
+#include "recshard/profiler/profiler.hh"
+#include "recshard/tiering/topology.hh"
+
+using namespace recshard;
+
+namespace {
+
+/** One capacity-pressured instance small enough for the MILP. */
+struct MilpInstance
+{
+    std::uint32_t features;
+    std::uint64_t rows;
+    std::uint64_t seed;
+    unsigned icdfSteps;
+};
+
+/** Identical placements and cost: the determinism criterion. */
+bool
+samePlan(const PlanResult &a, const PlanResult &b)
+{
+    if (a.plan.tables.size() != b.plan.tables.size())
+        return false;
+    for (std::size_t j = 0; j < a.plan.tables.size(); ++j) {
+        if (a.plan.tables[j].gpu != b.plan.tables[j].gpu ||
+            a.plan.tables[j].hbmRows != b.plan.tables[j].hbmRows ||
+            a.plan.tables[j].tierRows != b.plan.tables[j].tierRows)
+            return false;
+    }
+    return a.diag.bottleneckCost == b.diag.bottleneckCost;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("bench_planner_depth");
+    flags.addInt("trials", 8, "lp-rounding trials per solve");
+    flags.addDouble("scale", 2e-4, "rm1 row-count scale");
+    flags.addInt("batch", 4096, "cost-model batch size");
+    flags.addInt("profile-samples", 20000, "profiling samples");
+    flags.addDouble("cost-slack", 1.02,
+                    "lp-rounding cost gate vs the MILP optimum");
+    flags.addDouble("speedup", 10.0,
+                    "required MILP / lp-rounding solve-time ratio");
+    flags.parse(argc, argv);
+
+    const auto batch =
+        static_cast<std::uint32_t>(flags.getInt("batch"));
+    const auto samples = static_cast<std::uint64_t>(
+        flags.getInt("profile-samples"));
+    const double cost_slack = flags.getDouble("cost-slack");
+    const double need_speedup = flags.getDouble("speedup");
+    bool ok = true;
+
+    // ------------------- 1. within 2% of the MILP at >= 10x speed
+    const MilpInstance instances[] = {
+        {7, 2000, 71, 5},
+        {6, 1200, 77, 5},
+        {8, 2500, 83, 6},
+    };
+    TextTable head({"Instance", "MILP (ms)", "LP-round (ms)",
+                    "Gap", "MILP solve", "LP solve", "Speedup",
+                    "Pass"});
+    for (const MilpInstance &inst : instances) {
+        const ModelSpec model =
+            makeTinyModel(inst.features, inst.rows, inst.seed);
+        SyntheticDataset data(model, inst.seed + 1);
+        const auto profiles = profileDataset(data, samples, 4096);
+        SystemSpec sys = SystemSpec::paper(2, 1.0);
+        sys.hbm.capacityBytes = model.totalBytes() / 5;
+        sys.uvm.capacityBytes = model.totalBytes();
+
+        PlanRequest req =
+            PlanRequest::make(model, profiles, sys, batch);
+        req.milp.icdfSteps = inst.icdfSteps;
+        req.rounding.trials =
+            static_cast<std::uint32_t>(flags.getInt("trials"));
+
+        const PlanResult milp =
+            PlannerRegistry::create("milp")->plan(req);
+        const PlanResult lp =
+            PlannerRegistry::create("lp-rounding")->plan(req);
+        if (!milp.diag.feasible || !lp.diag.feasible) {
+            std::cerr << "FAIL: infeasible result on a "
+                         "MILP-feasible instance\n";
+            ok = false;
+            continue;
+        }
+
+        const double gap =
+            lp.diag.bottleneckCost / milp.diag.bottleneckCost;
+        const double speedup = lp.diag.solveSeconds > 0
+            ? milp.diag.solveSeconds / lp.diag.solveSeconds
+            : need_speedup;
+        const bool pass =
+            gap <= cost_slack && speedup >= need_speedup;
+        ok = ok && pass;
+
+        head.addRow({std::to_string(inst.features) + " EMBs x " +
+                         std::to_string(inst.rows) + " rows",
+                     fmtDouble(milp.diag.bottleneckCost * 1e3, 3),
+                     fmtDouble(lp.diag.bottleneckCost * 1e3, 3),
+                     fmtDouble(gap, 4),
+                     formatSeconds(milp.diag.solveSeconds),
+                     formatSeconds(lp.diag.solveSeconds),
+                     fmtDouble(speedup, 1) + "x",
+                     pass ? "yes" : "NO"});
+    }
+    head.print(std::cout,
+               "lp-rounding vs exact MILP (gate: gap <= " +
+                   fmtDouble(cost_slack, 2) + ", speedup >= " +
+                   fmtDouble(need_speedup, 0) + "x)");
+
+    // --------- 2. rm1, 2-tier and 3-tier: feasible + deterministic
+    const ModelSpec rm1 = makeRm1(flags.getDouble("scale"));
+    SyntheticDataset rm1_data(rm1, 42);
+    const auto rm1_profiles =
+        profileDataset(rm1_data, samples, 2048);
+
+    SystemSpec two_tier = SystemSpec::paper(2, 1.0);
+    two_tier.hbm.capacityBytes =
+        rm1.totalBytes() / (16 * two_tier.numGpus);
+    two_tier.uvm.capacityBytes = rm1.totalBytes();
+    const SystemSpec three_tier = threeTierNode(
+        2, rm1.totalBytes() / 32, rm1.totalBytes() / 16,
+        rm1.totalBytes() / 2 + (1ULL << 20));
+
+    TextTable rm1_table({"Planner", "Node", "Bottleneck (ms)",
+                         "Solve time", "Deterministic", "Pass"});
+    const struct
+    {
+        const char *label;
+        const SystemSpec &sys;
+    } nodes[] = {{"2-tier", two_tier}, {"3-tier", three_tier}};
+    for (const char *name : {"lp-rounding", "anneal"}) {
+        for (const auto &node : nodes) {
+            const PlanRequest req = PlanRequest::make(
+                rm1, rm1_profiles, node.sys, batch);
+            const auto planner = PlannerRegistry::create(name);
+            const PlanResult a = planner->plan(req);
+            const PlanResult b = planner->plan(req);
+            const bool deterministic = samePlan(a, b);
+            // plan() already validated both plans (fatal on a
+            // malformed placement), so feasibility + determinism
+            // is the whole gate.
+            const bool pass =
+                a.diag.feasible && b.diag.feasible && deterministic;
+            ok = ok && pass;
+            rm1_table.addRow(
+                {name, node.label,
+                 fmtDouble(a.diag.bottleneckCost * 1e3, 3),
+                 formatSeconds(a.diag.solveSeconds),
+                 deterministic ? "yes" : "NO",
+                 pass ? "yes" : "NO"});
+        }
+    }
+    rm1_table.print(std::cout,
+                    "rm1 (" + std::to_string(rm1.numFeatures()) +
+                        " EMBs): stochastic planners, gate: "
+                        "feasible + seed-deterministic");
+
+    // ------------------------- 3. the granularity autotuner's knee
+    {
+        const PlanRequest req = PlanRequest::make(
+            rm1, rm1_profiles, two_tier, batch);
+        AutotuneOptions sweep_opts = req.autotune;
+        sweep_opts.maxSteps = 512; // show the full cost curve
+        const GranularitySweep sweep =
+            sweepGranularity(req, "recshard", sweep_opts);
+        TextTable sweep_table({"ICDF steps", "Bottleneck (ms)",
+                               "Solve time", "Knee"});
+        for (const GranularitySweepPoint &p : sweep.points)
+            sweep_table.addRow(
+                {std::to_string(p.steps),
+                 fmtDouble(p.bottleneckCost * 1e3, 3),
+                 formatSeconds(p.solveSeconds),
+                 p.steps == sweep.kneeSteps ? "<--" : ""});
+        sweep_table.print(std::cout,
+                          "Uniform-granularity doubling sweep "
+                          "(recshard on rm1 2-tier)");
+
+        const PlanResult uniform =
+            PlannerRegistry::create("recshard")->plan(req);
+        const PlanResult tuned =
+            PlannerRegistry::create("recshard-tuned")->plan(req);
+        const bool pass = tuned.diag.feasible &&
+            tuned.diag.bottleneckCost <=
+                uniform.diag.bottleneckCost * 1.01;
+        ok = ok && pass;
+        std::cout << "\nPer-table autotune: recshard-tuned "
+                  << fmtDouble(tuned.diag.bottleneckCost * 1e3, 3)
+                  << " ms vs uniform "
+                  << fmtDouble(uniform.diag.bottleneckCost * 1e3, 3)
+                  << " ms (" << tuned.diag.notes << ") — "
+                  << (pass ? "pass" : "FAIL") << "\n";
+    }
+
+    std::cout << "\n"
+              << (ok ? "ALL GATES PASS" : "GATE FAILURE") << "\n";
+    return ok ? 0 : 1;
+}

@@ -53,6 +53,10 @@ RecShardPipeline::run() const
                                : opts.solver.batchSize);
     req.solver = opts.solver;
     req.milp = opts.milp;
+    req.seed = opts.plannerSeed;
+    req.rounding = opts.rounding;
+    req.anneal = opts.anneal;
+    req.autotune = opts.autotune;
     PlanResult solved =
         PlannerRegistry::create(planner_name)->plan(req);
     fatal_if(!solved.diag.feasible,

@@ -119,6 +119,15 @@ struct PipelineOptions
     bool useExactMilp = false;
     RecShardOptions solver;
     MilpShardOptions milp;
+    /** PRNG seed for the stochastic planners ("lp-rounding",
+     *  "anneal"): same options + same seed → same plan. */
+    std::uint64_t plannerSeed = 0x5eed5eed5eedULL;
+    /** "lp-rounding" controls. */
+    LpRoundingOptions rounding;
+    /** "anneal" controls. */
+    AnnealOptions anneal;
+    /** "recshard-tuned" controls. */
+    AutotuneOptions autotune;
     /** Run the optional serving phase on the solved plan. */
     bool evaluateServing = false;
     ServingConfig serving;

@@ -97,9 +97,30 @@ FrequencyCdf::icdfSteps(unsigned steps) const
     fatal_if(steps == 0, "ICDF needs at least one step");
     std::vector<std::uint64_t> out;
     out.reserve(steps + 1);
-    for (unsigned i = 0; i <= steps; ++i)
-        out.push_back(rowsForFraction(static_cast<double>(i) /
-                                      static_cast<double>(steps)));
+    // Single monotone sweep: the step fractions increase and
+    // rowsForFraction() is non-decreasing, so the minimal k for
+    // step i is never below the minimal k for step i-1. Advancing
+    // one cursor across cumCounts replaces the per-step binary
+    // search (O(S + n) instead of O(S log n)) while evaluating the
+    // exact same division comparison rowsForFraction() uses, so the
+    // output stays bit-identical.
+    out.push_back(0);
+    std::uint64_t k = 1;
+    const std::uint64_t n = cumCounts.size();
+    for (unsigned i = 1; i <= steps; ++i) {
+        const double fraction =
+            std::min(static_cast<double>(i) /
+                         static_cast<double>(steps), 1.0);
+        if (total == 0 || fraction <= 0.0) {
+            out.push_back(0);
+            continue;
+        }
+        while (k < n &&
+               static_cast<double>(cumCounts[k - 1]) /
+                       static_cast<double>(total) < fraction)
+            ++k;
+        out.push_back(k);
+    }
     return out;
 }
 

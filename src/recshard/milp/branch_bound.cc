@@ -197,9 +197,15 @@ MilpSolver::solve() const
     }
 
     if (result.values.empty()) {
-        // No incumbent found within limits.
-        result.status = open.empty() ? LpStatus::Infeasible
-                                     : LpStatus::IterLimit;
+        // No incumbent found within limits. Only a fully explored
+        // tree with no abandoned (numerically stuck) subtrees is a
+        // proof of infeasibility; any open or unresolved subproblem
+        // could still hide an integer solution, so the honest label
+        // is the limit status.
+        result.status =
+            open.empty() && result.unresolvedNodes == 0
+                ? LpStatus::Infeasible
+                : LpStatus::IterLimit;
         return result;
     }
     if (open.empty() && result.unresolvedNodes == 0)

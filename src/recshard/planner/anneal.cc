@@ -1,0 +1,217 @@
+#include "recshard/planner/anneal.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "recshard/base/logging.hh"
+#include "recshard/base/random.hh"
+#include "recshard/sharding/recshard_solver.hh"
+
+namespace recshard {
+
+ShardingPlan
+AnnealPlanner::solve(const PlanRequest &req,
+                     PlanDiagnostics &diag) const
+{
+    RecShardOptions sopts = req.solver;
+    sopts.batchSize = req.batchSize;
+    const ShardingPlan seed_plan = recShardPlan(
+        *req.model, *req.profiles, req.system, sopts);
+
+    const auto inputs = sopts.perTableSteps.empty()
+        ? buildShardInputs(*req.model, *req.profiles,
+                           sopts.icdfSteps, sopts.ablation)
+        : buildShardInputs(*req.model, *req.profiles,
+                           sopts.perTableSteps, sopts.ablation);
+    const EmbCostModel cost_model(req.system, sopts.combine);
+    const auto J = static_cast<std::uint32_t>(inputs.size());
+    const std::uint32_t M = req.system.numGpus;
+    const std::uint64_t cap_hbm = req.system.hbm.capacityBytes;
+    const std::uint64_t cap_uvm = req.system.uvm.capacityBytes;
+
+    // ---- State: (gpu, ICDF step, pinned tail rows) per table -----
+    // Decomposed from the seed plan's pinned-row counts; the
+    // decomposition never pins more rows than the seed did, so the
+    // start state inherits its feasibility.
+    std::vector<std::uint32_t> gpu(J);
+    std::vector<unsigned> step(J, 0);
+    std::vector<std::uint64_t> tail(J, 0);
+    for (std::uint32_t j = 0; j < J; ++j) {
+        const auto &in = inputs[j];
+        gpu[j] = seed_plan.tables[j].gpu;
+        const std::uint64_t rows = seed_plan.tables[j].hbmRows;
+        const auto it = std::upper_bound(in.icdfRows.begin(),
+                                         in.icdfRows.end(), rows);
+        step[j] = static_cast<unsigned>(
+            std::distance(in.icdfRows.begin(), it)) - 1;
+        tail[j] = std::min(rows - in.icdfRows[step[j]],
+                           in.tailRows);
+    }
+
+    auto rows_of = [&](std::uint32_t j) {
+        return inputs[j].icdfRows[step[j]] + tail[j];
+    };
+    auto cost_of = [&](std::uint32_t j, unsigned s,
+                       std::uint64_t t) {
+        return embCostAtPct(inputs[j], cost_model,
+                            embHbmTruePct(inputs[j], s, t),
+                            req.batchSize);
+    };
+
+    std::vector<std::uint64_t> hbm_bytes(M, 0), uvm_bytes(M, 0);
+    std::vector<double> gpu_cost(M, 0.0);
+    for (std::uint32_t j = 0; j < J; ++j) {
+        const std::uint64_t b = rows_of(j) * inputs[j].rowBytes;
+        hbm_bytes[gpu[j]] += b;
+        uvm_bytes[gpu[j]] += inputs[j].tableBytes - b;
+        gpu_cost[gpu[j]] += cost_of(j, step[j], tail[j]);
+    }
+    auto objective = [&]() {
+        return *std::max_element(gpu_cost.begin(), gpu_cost.end());
+    };
+
+    double obj = objective();
+    double best_obj = obj;
+    auto best_gpu = gpu;
+    auto best_step = step;
+    auto best_tail = tail;
+
+    // ---- Metropolis walk with geometric cooling ------------------
+    const std::uint32_t iterations = req.anneal.iterations;
+    std::uint64_t accepted = 0;
+    if (obj > 0.0 && iterations > 0 && J > 0) {
+        const double t_start =
+            std::max(req.anneal.startTempFraction * obj, 1e-300);
+        const double t_end = std::max(
+            req.anneal.endTempFraction * obj, t_start * 1e-12);
+        const double alpha = std::pow(
+            t_end / t_start,
+            1.0 / static_cast<double>(iterations));
+        double temp = t_start;
+        Rng rng(req.seed);
+
+        for (std::uint32_t it = 0; it < iterations;
+             ++it, temp *= alpha) {
+            const auto j = static_cast<std::uint32_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(J) - 1));
+            const auto &in = inputs[j];
+            const std::uint32_t g = gpu[j];
+            std::uint32_t g2 = g;
+            unsigned s2 = step[j];
+            std::uint64_t t2 = tail[j];
+
+            const auto kind = rng.uniformInt(0, 2);
+            if (kind == 0) {
+                // Shift the profiled ICDF split one step.
+                const bool up = rng.bernoulli(0.5);
+                if (up && s2 < in.numSteps())
+                    ++s2;
+                else if (!up && s2 > 0)
+                    --s2;
+                else
+                    continue;
+            } else if (kind == 1) {
+                // Shift the pinned tail by one chunk.
+                if (in.tailRows == 0)
+                    continue;
+                const std::uint64_t chunk = std::max<std::uint64_t>(
+                    1, in.tailRows / 16);
+                if (rng.bernoulli(0.5))
+                    t2 = std::min(in.tailRows, t2 + chunk);
+                else
+                    t2 = t2 > chunk ? t2 - chunk : 0;
+                if (t2 == tail[j])
+                    continue;
+            } else {
+                // Move the whole table to another GPU.
+                if (M < 2)
+                    continue;
+                g2 = static_cast<std::uint32_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(M) - 2));
+                if (g2 >= g)
+                    ++g2;
+            }
+
+            const std::uint64_t old_b =
+                rows_of(j) * in.rowBytes;
+            const std::uint64_t new_b =
+                (in.icdfRows[s2] + t2) * in.rowBytes;
+            const std::uint64_t new_hbm_g =
+                hbm_bytes[g] - old_b + (g2 == g ? new_b : 0);
+            const std::uint64_t new_uvm_g = uvm_bytes[g] -
+                (in.tableBytes - old_b) +
+                (g2 == g ? in.tableBytes - new_b : 0);
+            if (new_hbm_g > cap_hbm || new_uvm_g > cap_uvm)
+                continue;
+            std::uint64_t new_hbm_g2 = 0, new_uvm_g2 = 0;
+            if (g2 != g) {
+                new_hbm_g2 = hbm_bytes[g2] + new_b;
+                new_uvm_g2 =
+                    uvm_bytes[g2] + (in.tableBytes - new_b);
+                if (new_hbm_g2 > cap_hbm || new_uvm_g2 > cap_uvm)
+                    continue;
+            }
+
+            const double old_c = cost_of(j, step[j], tail[j]);
+            const double new_c = cost_of(j, s2, t2);
+            double cand_obj = 0.0;
+            for (std::uint32_t m = 0; m < M; ++m) {
+                double c = gpu_cost[m];
+                if (m == g)
+                    c += (g2 == g ? new_c : 0.0) - old_c;
+                if (m == g2 && g2 != g)
+                    c += new_c;
+                cand_obj = std::max(cand_obj, c);
+            }
+
+            const double delta = cand_obj - obj;
+            if (delta >= 0.0 &&
+                rng.nextDouble() >= std::exp(-delta / temp))
+                continue;
+
+            // Commit.
+            gpu_cost[g] += (g2 == g ? new_c : 0.0) - old_c;
+            hbm_bytes[g] = new_hbm_g;
+            uvm_bytes[g] = new_uvm_g;
+            if (g2 != g) {
+                gpu_cost[g2] += new_c;
+                hbm_bytes[g2] = new_hbm_g2;
+                uvm_bytes[g2] = new_uvm_g2;
+            }
+            gpu[j] = g2;
+            step[j] = s2;
+            tail[j] = t2;
+            obj = cand_obj;
+            ++accepted;
+            if (obj < best_obj) {
+                best_obj = obj;
+                best_gpu = gpu;
+                best_step = step;
+                best_tail = tail;
+            }
+        }
+    }
+
+    // ---- Emit the best state visited -----------------------------
+    ShardingPlan plan;
+    plan.strategy = "Anneal";
+    plan.tables.resize(J);
+    for (std::uint32_t j = 0; j < J; ++j) {
+        EmbPlacement &t = plan.tables[j];
+        t.gpu = best_gpu[j];
+        t.hbmRows =
+            inputs[j].icdfRows[best_step[j]] + best_tail[j];
+        t.hbmAccessFraction =
+            (*req.profiles)[j].cdf.accessFraction(t.hbmRows);
+    }
+
+    diag.refinementSteps = accepted;
+    std::ostringstream os;
+    os << "seeded from recshard; accepted " << accepted << "/"
+       << iterations << " moves";
+    diag.notes = os.str();
+    return plan;
+}
+
+} // namespace recshard

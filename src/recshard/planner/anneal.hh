@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The "anneal" strategy: simulated annealing over per-table
+ * ICDF-step moves.
+ *
+ * The scalable solver's move/swap local search stops at the first
+ * local optimum of whole-table moves; annealing explores the finer
+ * neighborhood — shift one table's ICDF split step, shift its
+ * pinned tail chunk, or reassign its GPU — and accepts uphill moves
+ * with Metropolis probability under a geometric cooling schedule,
+ * so it can cross cost barriers the greedy search cannot. The walk
+ * starts from the "recshard" plan (never returns anything worse:
+ * the best state visited is kept) and draws every coin from the
+ * deterministic PRNG seeded by PlanRequest::seed.
+ */
+
+#ifndef RECSHARD_PLANNER_ANNEAL_HH
+#define RECSHARD_PLANNER_ANNEAL_HH
+
+#include "recshard/planner/planner.hh"
+
+namespace recshard {
+
+/** "anneal": Metropolis refinement of the recshard seed plan. */
+class AnnealPlanner : public Planner
+{
+  public:
+    const char *name() const override { return "anneal"; }
+
+  protected:
+    ShardingPlan solve(const PlanRequest &request,
+                       PlanDiagnostics &diag) const override;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_PLANNER_ANNEAL_HH

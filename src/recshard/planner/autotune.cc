@@ -1,0 +1,123 @@
+#include "recshard/planner/autotune.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "recshard/base/logging.hh"
+#include "recshard/planner/registry.hh"
+#include "recshard/sharding/recshard_solver.hh"
+
+namespace recshard {
+
+namespace {
+
+/** Distinct split points of one sampled ICDF (the vector is
+ *  monotone, so distinct == adjacent-unequal runs). */
+std::size_t
+distinctSplits(const std::vector<std::uint64_t> &icdf)
+{
+    std::size_t d = icdf.empty() ? 0 : 1;
+    for (std::size_t i = 1; i < icdf.size(); ++i)
+        if (icdf[i] != icdf[i - 1])
+            ++d;
+    return d;
+}
+
+unsigned
+kneeStepsForCdf(const FrequencyCdf &cdf, const AutotuneOptions &opts)
+{
+    fatal_if(opts.minSteps == 0 || opts.maxSteps < opts.minSteps,
+             "autotune: bad step bounds [%u, %u]", opts.minSteps,
+             opts.maxSteps);
+    unsigned steps = opts.minSteps;
+    std::size_t d = distinctSplits(cdf.icdfSteps(steps));
+    while (steps * 2ULL <= opts.maxSteps) {
+        const unsigned next = steps * 2;
+        const std::size_t d2 = distinctSplits(cdf.icdfSteps(next));
+        if (static_cast<double>(d2) <
+            (1.0 + opts.kneeTolerance) * static_cast<double>(d))
+            break; // resolved: doubling only duplicates row counts
+        steps = next;
+        d = d2;
+    }
+    return steps;
+}
+
+} // namespace
+
+std::vector<unsigned>
+perTableKneeSteps(const std::vector<EmbProfile> &profiles,
+                  const AutotuneOptions &options)
+{
+    std::vector<unsigned> knees;
+    knees.reserve(profiles.size());
+    for (const auto &p : profiles)
+        knees.push_back(kneeStepsForCdf(p.cdf, options));
+    return knees;
+}
+
+GranularitySweep
+sweepGranularity(const PlanRequest &request,
+                 const std::string &planner_name,
+                 const AutotuneOptions &options)
+{
+    fatal_if(options.minSteps == 0 ||
+                 options.maxSteps < options.minSteps,
+             "autotune: bad step bounds [%u, %u]", options.minSteps,
+             options.maxSteps);
+    const auto planner = PlannerRegistry::create(planner_name);
+
+    GranularitySweep sweep;
+    for (unsigned s = options.minSteps;; s *= 2) {
+        PlanRequest req = request;
+        req.solver.perTableSteps.clear();
+        req.solver.icdfSteps = s;
+        req.milp.icdfSteps = s;
+        const PlanResult res = planner->plan(req);
+        sweep.points.push_back(
+            {s, res.diag.bottleneckCost, res.diag.solveSeconds});
+        if (s * 2ULL > options.maxSteps)
+            break;
+    }
+
+    // Knee: the smallest swept S whose doubling stopped paying.
+    sweep.kneeSteps = sweep.points.back().steps;
+    for (std::size_t i = 0; i + 1 < sweep.points.size(); ++i) {
+        const double c = sweep.points[i].bottleneckCost;
+        const double c2 = sweep.points[i + 1].bottleneckCost;
+        if (c - c2 < options.kneeTolerance * c) {
+            sweep.kneeSteps = sweep.points[i].steps;
+            break;
+        }
+    }
+    return sweep;
+}
+
+ShardingPlan
+TunedRecShardPlanner::solve(const PlanRequest &req,
+                            PlanDiagnostics &diag) const
+{
+    const auto knees = perTableKneeSteps(*req.profiles, req.autotune);
+
+    RecShardOptions sopts = req.solver;
+    sopts.batchSize = req.batchSize;
+    sopts.perTableSteps = knees;
+    ShardingPlan plan = recShardPlan(*req.model, *req.profiles,
+                                     req.system, sopts);
+    plan.strategy = "RecShard-Tuned";
+
+    if (!knees.empty()) {
+        auto sorted = knees;
+        std::sort(sorted.begin(), sorted.end());
+        std::ostringstream os;
+        os << "per-table knee steps min " << sorted.front()
+           << " median " << sorted[sorted.size() / 2] << " max "
+           << sorted.back() << " (uniform baseline "
+           << req.solver.icdfSteps << ")";
+        diag.notes = os.str();
+    }
+    diag.refinementSteps = knees.size();
+    return plan;
+}
+
+} // namespace recshard

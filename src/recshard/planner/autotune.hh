@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shard-granularity autotuning (knee-style, after the rippled
+ * ShardSizeTuning experiments): the ICDF step count S decides how
+ * finely a table can be split, and the right S moves with the
+ * table's access CDF — a near-uniform table is fully described by a
+ * handful of steps while a heavy-tailed one keeps gaining
+ * resolution for hundreds. Fixing one global S (the paper's 100)
+ * either wastes solve time or leaves cost on the table.
+ *
+ * Two tuners:
+ *
+ *  - perTableKneeSteps(): per-table knee search. Double S from
+ *    AutotuneOptions::minSteps; stop when doubling no longer grows
+ *    the number of *distinct* split points by kneeTolerance — the
+ *    CDF is resolved; finer steps only duplicate row counts. The
+ *    "recshard-tuned" planner feeds these knees to the scalable
+ *    solver through RecShardOptions::perTableSteps.
+ *
+ *  - sweepGranularity(): global knee search. Double the uniform S,
+ *    re-solve the full plan through any registry planner, compare
+ *    the uniform bottleneck cost, and pick the smallest S whose
+ *    doubling stops paying (bench_planner_depth reports the sweep).
+ */
+
+#ifndef RECSHARD_PLANNER_AUTOTUNE_HH
+#define RECSHARD_PLANNER_AUTOTUNE_HH
+
+#include <string>
+#include <vector>
+
+#include "recshard/planner/planner.hh"
+
+namespace recshard {
+
+/**
+ * The per-table granularity knees: for each profile, the smallest
+ * step count (doubling from options.minSteps, capped at
+ * options.maxSteps) at which doubling stops adding distinct ICDF
+ * split points.
+ */
+std::vector<unsigned>
+perTableKneeSteps(const std::vector<EmbProfile> &profiles,
+                  const AutotuneOptions &options);
+
+/** One evaluated granularity of a global sweep. */
+struct GranularitySweepPoint
+{
+    unsigned steps = 0;
+    double bottleneckCost = 0.0;
+    double solveSeconds = 0.0;
+};
+
+/** A full doubling sweep plus the knee it picked. */
+struct GranularitySweep
+{
+    std::vector<GranularitySweepPoint> points;
+    /** Smallest swept S whose doubling improved the bottleneck by
+     *  less than options.kneeTolerance (relative). */
+    unsigned kneeSteps = 0;
+};
+
+/**
+ * Re-solve `request` through the named registry planner at uniform
+ * ICDF granularities doubling from options.minSteps to
+ * options.maxSteps and pick the cost knee.
+ */
+GranularitySweep
+sweepGranularity(const PlanRequest &request,
+                 const std::string &planner_name,
+                 const AutotuneOptions &options);
+
+/**
+ * "recshard-tuned": the scalable solver with per-table knee step
+ * counts instead of one global granularity.
+ */
+class TunedRecShardPlanner : public Planner
+{
+  public:
+    const char *name() const override { return "recshard-tuned"; }
+
+  protected:
+    ShardingPlan solve(const PlanRequest &request,
+                       PlanDiagnostics &diag) const override;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_PLANNER_AUTOTUNE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The "lp-rounding" strategy: LP relaxation + randomized rounding.
+ *
+ * The exact MILP (sharding/milp_formulation.hh) is the quality
+ * ceiling but infeasible past a few hundred binaries; its LP
+ * relaxation solves in one simplex call and its fractional
+ * assignment variables are a distribution over near-optimal GPU
+ * placements. This planner rounds that distribution: R
+ * deterministically-seeded trials sample each table's GPU from the
+ * relaxed p_mj values, repair the sample to a feasible pin set with
+ * the concave per-GPU split (sharding/recshard_solver.hh:
+ * splitGpuBudget), and keep the candidate with the best uniform
+ * bottleneck estimate.
+ *
+ * Instances too large for the dense-tableau LP take a structured
+ * relaxation instead: the pooled-budget greedy split (which *is*
+ * the optimum of the single-pool relaxation, the CDFs being
+ * concave) prices each table, and the trials randomize the LPT
+ * placement order instead of the simplex fractions. Both paths are
+ * reproducible from PlanRequest::seed.
+ */
+
+#ifndef RECSHARD_PLANNER_LP_ROUNDING_HH
+#define RECSHARD_PLANNER_LP_ROUNDING_HH
+
+#include "recshard/planner/planner.hh"
+
+namespace recshard {
+
+/** "lp-rounding": relax, round, repair; best of R trials. */
+class LpRoundingPlanner : public Planner
+{
+  public:
+    const char *name() const override { return "lp-rounding"; }
+
+  protected:
+    ShardingPlan solve(const PlanRequest &request,
+                       PlanDiagnostics &diag) const override;
+};
+
+} // namespace recshard
+
+#endif // RECSHARD_PLANNER_LP_ROUNDING_HH

@@ -6,9 +6,10 @@
  * one with `PlannerRegistry::create(name)` — pipelines, cluster
  * assembly, benches, and tests all pick strategies by string, so a
  * new strategy becomes reachable everywhere the moment it
- * registers. The registry's store seeds itself with the five
+ * registers. The registry's store seeds itself with the eight
  * built-ins ("greedy-size", "greedy-lookup", "greedy-size-lookup",
- * "recshard", "milp") inside its thread-safe static initialization
+ * "recshard", "milp", "lp-rounding", "anneal", "recshard-tuned")
+ * inside its thread-safe static initialization
  * (strategies.hh: builtinPlanners()), which sidesteps the
  * static-library dead-stripping of self-registration objects;
  * external strategies can still self-register with a
@@ -46,7 +47,8 @@ class PlannerRegistry
     static bool contains(const std::string &name);
 
     /** Registered names, in registration order (built-ins first:
-     *  the three greedy baselines, then "recshard", then "milp"). */
+     *  the three greedy baselines, "recshard", "milp", then the
+     *  depth strategies "lp-rounding"/"anneal"/"recshard-tuned"). */
     static std::vector<std::string> names();
 };
 

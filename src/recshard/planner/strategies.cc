@@ -3,6 +3,9 @@
 #include <memory>
 #include <sstream>
 
+#include "recshard/planner/anneal.hh"
+#include "recshard/planner/autotune.hh"
+#include "recshard/planner/lp_rounding.hh"
 #include "recshard/planner/registry.hh"
 #include "recshard/sharding/baselines.hh"
 
@@ -53,9 +56,19 @@ class MilpPlanner : public Planner
         diag.exact = res.milp.provenOptimal;
         diag.refinementSteps = res.milp.nodesExplored;
         std::ostringstream os;
-        os << "objective " << res.milp.objective << " over "
-           << res.numBinaries << " binaries ("
-           << lpStatusName(res.milp.status) << ")";
+        if (!res.feasible) {
+            // No incumbent: the objective is meaningless (the solver
+            // leaves it at its sentinel), so report only the root
+            // status — Infeasible means proven unsat, IterLimit
+            // means the search hit its node/time limits first.
+            os << "milp root " << lpStatusName(res.milp.status)
+               << " over " << res.numBinaries
+               << " binaries - no incumbent";
+        } else {
+            os << "objective " << res.milp.objective << " over "
+               << res.numBinaries << " binaries ("
+               << lpStatusName(res.milp.status) << ")";
+        }
         diag.notes = os.str();
         return res.plan;
     }
@@ -113,6 +126,11 @@ builtinPlanners()
         {"recshard",
          [] { return std::make_unique<RecShardPlanner>(); }},
         {"milp", [] { return std::make_unique<MilpPlanner>(); }},
+        {"lp-rounding",
+         [] { return std::make_unique<LpRoundingPlanner>(); }},
+        {"anneal", [] { return std::make_unique<AnnealPlanner>(); }},
+        {"recshard-tuned",
+         [] { return std::make_unique<TunedRecShardPlanner>(); }},
     };
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
- * The five built-in planning strategies, as `Planner` adapters over
- * the pre-existing free functions:
+ * The eight built-in planning strategies. Five are `Planner`
+ * adapters over the pre-existing free functions:
  *
  *   "recshard"           recShardPlan()  — scalable solver
  *   "milp"               milpShardPlan() — exact MILP (small/medium
@@ -9,6 +9,15 @@
  *   "greedy-size"        greedyShard(BaselineCost::Size)
  *   "greedy-lookup"      greedyShard(BaselineCost::Lookup)
  *   "greedy-size-lookup" greedyShard(BaselineCost::SizeLookup)
+ *
+ * and three live in this directory:
+ *
+ *   "lp-rounding"        lp_rounding.hh — LP relaxation + seeded
+ *                        randomized rounding with repair
+ *   "anneal"             anneal.hh — simulated annealing over
+ *                        per-table ICDF-step moves
+ *   "recshard-tuned"     autotune.hh — scalable solver at per-table
+ *                        knee-tuned ICDF granularity
  *
  * The registry seeds itself from builtinPlanners() inside its
  * store's thread-safe static initialization (registry.cc), so the

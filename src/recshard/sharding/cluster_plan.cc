@@ -128,6 +128,10 @@ solveNodePlans(const ModelSpec &model,
                 : options.solver.batchSize);
         req.solver = options.solver;
         req.milp = options.milp;
+        req.seed = options.seed + n;
+        req.rounding = options.rounding;
+        req.anneal = options.anneal;
+        req.autotune = options.autotune;
         PlanResult solved = planner->plan(req);
         fatal_if(!solved.diag.feasible,
                  "planner '", options.plannerName,

@@ -9,18 +9,21 @@
 
 namespace recshard {
 
-MilpShardResult
-milpShardPlan(const ModelSpec &model,
-              const std::vector<EmbProfile> &profiles,
-              const SystemSpec &system, const MilpShardOptions &opts)
+ShardMilpModel
+buildShardMilp(const ModelSpec &model,
+               const std::vector<EmbProfile> &profiles,
+               const SystemSpec &system, const MilpShardOptions &opts)
 {
-    const auto inputs = buildShardInputs(model, profiles,
-                                         opts.icdfSteps,
-                                         opts.ablation);
+    ShardMilpModel out;
+    out.inputs = buildShardInputs(model, profiles, opts.icdfSteps,
+                                  opts.ablation);
     const EmbCostModel cost_model(system, opts.combine);
     const int M = static_cast<int>(system.numGpus);
-    const int J = static_cast<int>(inputs.size());
+    const int J = static_cast<int>(out.inputs.size());
     const int S = static_cast<int>(opts.icdfSteps);
+    out.numGpus = M;
+    out.numSteps = S;
+    const auto &inputs = out.inputs;
 
     const int binaries = M * J + (S + 1) * J;
     fatal_if(binaries > opts.maxBinaries,
@@ -50,17 +53,18 @@ milpShardPlan(const ModelSpec &model,
         cj_max[j] /= cost_unit;
         mem_max[j] /= mem_unit;
     }
+    out.costUnit = cost_unit;
+    out.memUnit = mem_unit;
     const double cap_hbm =
         static_cast<double>(system.hbm.capacityBytes) / mem_unit;
     const double cap_uvm =
         static_cast<double>(system.uvm.capacityBytes) / mem_unit;
 
-    LpProblem lp;
-    MilpShardResult result;
+    LpProblem &lp = out.lp;
 
     // ---- Variables -----------------------------------------------
     // Objective: minimize C (the max per-GPU cost).
-    const int vC = lp.addVariable(0, kLpInf, 1.0, "C");
+    out.vC = lp.addVariable(0, kLpInf, 1.0, "C");
 
     std::vector<int> vGpuCost(M); // c_m
     for (int m = 0; m < M; ++m)
@@ -69,8 +73,8 @@ milpShardPlan(const ModelSpec &model,
 
     // p[m][j] assignment binaries; symmetry breaking fixes
     // p[m][j] == 0 for m > j (GPUs are interchangeable).
-    std::vector<std::vector<int>> vP(M, std::vector<int>(J));
-    std::vector<int> integer_vars;
+    out.vP.assign(M, std::vector<int>(J));
+    auto &vP = out.vP;
     for (int m = 0; m < M; ++m) {
         for (int j = 0; j < J; ++j) {
             const double ub =
@@ -79,18 +83,19 @@ milpShardPlan(const ModelSpec &model,
                                       "p_" + std::to_string(m) + "_" +
                                       std::to_string(j));
             if (ub > 0)
-                integer_vars.push_back(vP[m][j]);
+                out.integerVars.push_back(vP[m][j]);
         }
     }
 
     // x[i][j] step-selection binaries.
-    std::vector<std::vector<int>> vX(S + 1, std::vector<int>(J));
+    out.vX.assign(S + 1, std::vector<int>(J));
+    auto &vX = out.vX;
     for (int i = 0; i <= S; ++i) {
         for (int j = 0; j < J; ++j) {
             vX[i][j] = lp.addVariable(0, 1, 0,
                                       "x_" + std::to_string(i) + "_" +
                                       std::to_string(j));
-            integer_vars.push_back(vX[i][j]);
+            out.integerVars.push_back(vX[i][j]);
         }
     }
 
@@ -116,8 +121,8 @@ milpShardPlan(const ModelSpec &model,
     // ---- Constraints ---------------------------------------------
     // (1) c_m <= C.
     for (int m = 0; m < M; ++m)
-        lp.addConstraint({{vGpuCost[m], 1}, {vC, -1}}, Relation::LE,
-                         0);
+        lp.addConstraint({{vGpuCost[m], 1}, {out.vC, -1}},
+                         Relation::LE, 0);
 
     // (2) each EMB on exactly one GPU.
     for (int j = 0; j < J; ++j) {
@@ -207,15 +212,35 @@ milpShardPlan(const ModelSpec &model,
         lp.addConstraint(terms, Relation::EQ, 0);
     }
 
-    result.numVars = lp.numVars();
-    result.numConstraints = lp.numConstraints();
-    result.numBinaries = static_cast<int>(integer_vars.size());
+    return out;
+}
 
-    MilpSolver solver(lp, integer_vars, opts.milp);
+MilpShardResult
+milpShardPlan(const ModelSpec &model,
+              const std::vector<EmbProfile> &profiles,
+              const SystemSpec &system, const MilpShardOptions &opts)
+{
+    const ShardMilpModel fm = buildShardMilp(model, profiles, system,
+                                             opts);
+    const int M = fm.numGpus;
+    const int S = fm.numSteps;
+    const int J = static_cast<int>(fm.inputs.size());
+
+    MilpShardResult result;
+    result.numVars = fm.lp.numVars();
+    result.numConstraints = fm.lp.numConstraints();
+    result.numBinaries = static_cast<int>(fm.integerVars.size());
+
+    MilpSolver solver(fm.lp, fm.integerVars, opts.milp);
     result.milp = solver.solve();
-    // Report the objective in real (seconds) units.
-    result.milp.objective *= cost_unit;
-    result.milp.bestBound *= cost_unit;
+    // Report the objective in real (seconds) units. Guard the
+    // scaling: with no incumbent the objective is +inf (and a
+    // default-constructed MilpResult would carry 0.0) — neither is
+    // a cost, so neither may be scaled into one.
+    if (std::isfinite(result.milp.objective))
+        result.milp.objective *= fm.costUnit;
+    if (std::isfinite(result.milp.bestBound))
+        result.milp.bestBound *= fm.costUnit;
     if (result.milp.status != LpStatus::Optimal)
         return result;
     result.feasible = true;
@@ -226,21 +251,21 @@ milpShardPlan(const ModelSpec &model,
     for (int j = 0; j < J; ++j) {
         int best_m = 0;
         for (int m = 1; m < M; ++m) {
-            if (result.milp.values[vP[m][j]] >
-                result.milp.values[vP[best_m][j]]) {
+            if (result.milp.values[fm.vP[m][j]] >
+                result.milp.values[fm.vP[best_m][j]]) {
                 best_m = m;
             }
         }
         int best_i = 0;
         for (int i = 1; i <= S; ++i) {
-            if (result.milp.values[vX[i][j]] >
-                result.milp.values[vX[best_i][j]]) {
+            if (result.milp.values[fm.vX[i][j]] >
+                result.milp.values[fm.vX[best_i][j]]) {
                 best_i = i;
             }
         }
         EmbPlacement &t = result.plan.tables[j];
         t.gpu = static_cast<std::uint32_t>(best_m);
-        t.hbmRows = inputs[j].icdfRows[best_i];
+        t.hbmRows = fm.inputs[j].icdfRows[best_i];
         t.hbmAccessFraction = static_cast<double>(best_i) / S;
     }
     result.plan.validate(model, system);

@@ -59,6 +59,41 @@ struct MilpShardResult
 };
 
 /**
+ * The built formulation, exposed so other strategies can work on
+ * the same polytope: the lp-rounding planner solves `lp` *without*
+ * the integrality side constraints (the LP relaxation) and rounds
+ * the fractional p/x variables. Coefficients are normalized; the
+ * solved objective must be scaled back by costUnit to be in
+ * seconds. The LpProblem is self-contained (owns its rows), so the
+ * model may be moved freely; MilpSolver/SimplexSolver borrow it.
+ */
+struct ShardMilpModel
+{
+    LpProblem lp;
+    std::vector<int> integerVars;
+    int vC = 0;                        //!< the makespan objective var
+    std::vector<std::vector<int>> vP;  //!< [gpu][table] assignment
+    std::vector<std::vector<int>> vX;  //!< [step][table] ICDF choice
+    double costUnit = 1.0;             //!< seconds per objective unit
+    double memUnit = 1.0;              //!< bytes per memory unit
+    std::vector<EmbShardInput> inputs;
+    int numGpus = 0;
+    int numSteps = 0;                  //!< S (vX has S+1 rows)
+};
+
+/**
+ * Build the paper's formulation without solving it.
+ *
+ * fatal()s if the instance exceeds options.maxBinaries — callers
+ * wanting a size check without the fatal() can count binaries as
+ * M*J + (S+1)*J first.
+ */
+ShardMilpModel buildShardMilp(const ModelSpec &model,
+                              const std::vector<EmbProfile> &profiles,
+                              const SystemSpec &system,
+                              const MilpShardOptions &options = {});
+
+/**
  * Solve the paper's MILP exactly and extract the plan.
  *
  * fatal()s if the instance exceeds options.maxBinaries — use

@@ -43,28 +43,23 @@ struct SolverCtx
     }
 };
 
-/** Split decision for the EMBs resident on one GPU. */
-struct GpuSplit
+/** Per-EMB curve setup shared by recShardPlan and splitGpuBudget. */
+Curve
+buildCurve(const EmbShardInput &in, std::uint32_t batch,
+           const SolverCtx &ctx)
 {
-    bool feasible = false;
-    double cost = 0.0;
-    std::vector<std::uint64_t> hbmRows; //!< parallel to members
-    std::vector<unsigned> step;         //!< chosen ICDF step
-    std::vector<std::uint64_t> tailTaken;
-};
-
-/** True HBM access share of one member's split state. */
-double
-truePct(const EmbShardInput &in, unsigned step, unsigned steps,
-        std::uint64_t tail_taken)
-{
-    const double profiled = (1.0 - in.missingMass) *
-        static_cast<double>(step) / steps;
-    const double tail = in.tailRows == 0
-        ? in.missingMass
-        : in.missingMass * static_cast<double>(tail_taken) /
+    Curve c;
+    c.wBytes = in.coverage * in.avgPool *
+        static_cast<double>(in.rowBytes) *
+        static_cast<double>(batch);
+    const double gain_unit =
+        c.wBytes * (1.0 / ctx.bwUvm - 1.0 / ctx.bwHbm);
+    c.stepGain = gain_unit * (1.0 - in.missingMass) / in.numSteps();
+    c.tailGainPerRow = in.tailRows == 0
+        ? 0.0
+        : gain_unit * in.missingMass /
             static_cast<double>(in.tailRows);
-    return profiled + tail;
+    return c;
 }
 
 /**
@@ -74,15 +69,14 @@ truePct(const EmbShardInput &in, unsigned step, unsigned steps,
  * forced spill of whatever tail remains when the UVM budget would
  * otherwise overflow.
  */
-GpuSplit
+GpuBudgetSplit
 splitMembers(const std::vector<EmbShardInput> &inputs,
              const std::vector<Curve> &curves,
              const SolverCtx &ctx,
              const std::vector<std::uint32_t> &members,
-             std::uint64_t cap_hbm, std::uint64_t cap_uvm,
-             unsigned steps)
+             std::uint64_t cap_hbm, std::uint64_t cap_uvm)
 {
-    GpuSplit out;
+    GpuBudgetSplit out;
     out.step.assign(members.size(), 0);
     out.hbmRows.assign(members.size(), 0);
     out.tailTaken.assign(members.size(), 0);
@@ -111,9 +105,9 @@ splitMembers(const std::vector<EmbShardInput> &inputs,
         heap(cmp);
 
     auto push_step = [&](std::uint32_t k, unsigned next_step) {
-        if (next_step > steps)
-            return;
         const auto &in = inputs[members[k]];
+        if (next_step > in.numSteps())
+            return;
         const std::uint64_t delta =
             (in.icdfRows[next_step] - in.icdfRows[next_step - 1]) *
             in.rowBytes;
@@ -213,12 +207,42 @@ splitMembers(const std::vector<EmbShardInput> &inputs,
         const auto &in = inputs[members[k]];
         out.cost += ctx.cost(
             curves[members[k]].wBytes,
-            truePct(in, out.step[k], steps, out.tailTaken[k]));
+            embHbmTruePct(in, out.step[k], out.tailTaken[k]));
     }
     return out;
 }
 
 } // namespace
+
+double
+embHbmTruePct(const EmbShardInput &in, unsigned step,
+              std::uint64_t tail_taken)
+{
+    const double profiled = (1.0 - in.missingMass) *
+        static_cast<double>(step) / in.numSteps();
+    const double tail = in.tailRows == 0
+        ? in.missingMass
+        : in.missingMass * static_cast<double>(tail_taken) /
+            static_cast<double>(in.tailRows);
+    return profiled + tail;
+}
+
+GpuBudgetSplit
+splitGpuBudget(const std::vector<EmbShardInput> &inputs,
+               const EmbCostModel &cost_model, std::uint32_t batch,
+               const std::vector<std::uint32_t> &members,
+               std::uint64_t cap_hbm, std::uint64_t cap_uvm)
+{
+    SolverCtx ctx;
+    ctx.bwHbm = cost_model.hbmBandwidth();
+    ctx.bwUvm = cost_model.uvmBandwidth();
+    ctx.combine = cost_model.combine();
+    std::vector<Curve> curves(inputs.size());
+    for (const std::uint32_t j : members)
+        curves[j] = buildCurve(inputs[j], batch, ctx);
+    return splitMembers(inputs, curves, ctx, members, cap_hbm,
+                        cap_uvm);
+}
 
 ShardingPlan
 recShardPlan(const ModelSpec &model,
@@ -230,11 +254,12 @@ recShardPlan(const ModelSpec &model,
     // lint:allow(no-wallclock): solve-time diagnostic only; never reaches the plan
     const auto t_start = Clock::now();
 
-    const auto inputs = buildShardInputs(model, profiles,
-                                         opts.icdfSteps,
-                                         opts.ablation);
+    const auto inputs = opts.perTableSteps.empty()
+        ? buildShardInputs(model, profiles, opts.icdfSteps,
+                           opts.ablation)
+        : buildShardInputs(model, profiles, opts.perTableSteps,
+                           opts.ablation);
     const EmbCostModel cost_model(system, opts.combine);
-    const unsigned S = opts.icdfSteps;
     const std::uint32_t M = system.numGpus;
     const auto J = static_cast<std::uint32_t>(inputs.size());
 
@@ -257,27 +282,16 @@ recShardPlan(const ModelSpec &model,
     ctx.combine = cost_model.combine();
 
     std::vector<Curve> curves(J);
-    for (std::uint32_t j = 0; j < J; ++j) {
-        Curve &c = curves[j];
-        c.wBytes = inputs[j].coverage * inputs[j].avgPool *
-            static_cast<double>(inputs[j].rowBytes) *
-            static_cast<double>(opts.batchSize);
-        const double gain_unit =
-            c.wBytes * (1.0 / ctx.bwUvm - 1.0 / ctx.bwHbm);
-        c.stepGain = gain_unit * (1.0 - inputs[j].missingMass) / S;
-        c.tailGainPerRow = inputs[j].tailRows == 0
-            ? 0.0
-            : gain_unit * inputs[j].missingMass /
-                static_cast<double>(inputs[j].tailRows);
-    }
+    for (std::uint32_t j = 0; j < J; ++j)
+        curves[j] = buildCurve(inputs[j], opts.batchSize, ctx);
 
     // ---- Phase 1: global split over the pooled HBM budget --------
     std::vector<std::uint32_t> all(J);
     std::iota(all.begin(), all.end(), 0);
-    const GpuSplit global = splitMembers(
+    const GpuBudgetSplit global = splitMembers(
         inputs, curves, ctx, all,
         static_cast<std::uint64_t>(M) * system.hbm.capacityBytes,
-        static_cast<std::uint64_t>(M) * system.uvm.capacityBytes, S);
+        static_cast<std::uint64_t>(M) * system.uvm.capacityBytes);
     fatal_if(!global.feasible,
              "global split infeasible despite capacity pre-check");
 
@@ -286,8 +300,8 @@ recShardPlan(const ModelSpec &model,
     for (std::uint32_t j = 0; j < J; ++j)
         est_cost[j] = ctx.cost(
             curves[j].wBytes,
-            truePct(inputs[j], global.step[j], S,
-                    global.tailTaken[j]));
+            embHbmTruePct(inputs[j], global.step[j],
+                          global.tailTaken[j]));
 
     std::vector<std::uint32_t> order(J);
     std::iota(order.begin(), order.end(), 0);
@@ -339,11 +353,11 @@ recShardPlan(const ModelSpec &model,
     }
 
     // ---- Phase 3: per-GPU re-split under real budgets -------------
-    std::vector<GpuSplit> splits(M);
+    std::vector<GpuBudgetSplit> splits(M);
     auto resplit = [&](std::uint32_t m) {
         splits[m] = splitMembers(inputs, curves, ctx, members[m],
                                  system.hbm.capacityBytes,
-                                 system.uvm.capacityBytes, S);
+                                 system.uvm.capacityBytes);
     };
     for (std::uint32_t m = 0; m < M; ++m)
         resplit(m);
@@ -417,7 +431,7 @@ recShardPlan(const ModelSpec &model,
 
         double best_max = current_max;
         int best_j = -1, best_h = -1, best_k = -1;
-        GpuSplit best_gs, best_hs;
+        GpuBudgetSplit best_gs, best_hs;
 
         // Moves: each member of g to each other GPU. The removal
         // split is shared across target GPUs.
@@ -426,10 +440,10 @@ recShardPlan(const ModelSpec &model,
             std::vector<std::uint32_t> g_minus = members[g];
             g_minus.erase(g_minus.begin() +
                           static_cast<std::ptrdiff_t>(jj));
-            const GpuSplit gs = splitMembers(
+            const GpuBudgetSplit gs = splitMembers(
                 inputs, curves, ctx, g_minus,
                 system.hbm.capacityBytes,
-                system.uvm.capacityBytes, S);
+                system.uvm.capacityBytes);
             if (!gs.feasible)
                 continue;
             for (std::uint32_t h = 0; h < M; ++h) {
@@ -437,10 +451,10 @@ recShardPlan(const ModelSpec &model,
                     continue;
                 std::vector<std::uint32_t> h_plus = members[h];
                 h_plus.push_back(j);
-                const GpuSplit hs = splitMembers(
+                const GpuBudgetSplit hs = splitMembers(
                     inputs, curves, ctx, h_plus,
                     system.hbm.capacityBytes,
-                    system.uvm.capacityBytes, S);
+                    system.uvm.capacityBytes);
                 if (!hs.feasible)
                     continue;
                 const double cand = std::max(
@@ -480,16 +494,16 @@ recShardPlan(const ModelSpec &model,
                             if (x != k)
                                 h_new.push_back(x);
                         h_new.push_back(j);
-                        const GpuSplit gs = splitMembers(
+                        const GpuBudgetSplit gs = splitMembers(
                             inputs, curves, ctx, g_new,
                             system.hbm.capacityBytes,
-                            system.uvm.capacityBytes, S);
+                            system.uvm.capacityBytes);
                         if (!gs.feasible)
                             continue;
-                        const GpuSplit hs = splitMembers(
+                        const GpuBudgetSplit hs = splitMembers(
                             inputs, curves, ctx, h_new,
                             system.hbm.capacityBytes,
-                            system.uvm.capacityBytes, S);
+                            system.uvm.capacityBytes);
                         if (!hs.feasible)
                             continue;
                         const double cand = std::max(

@@ -49,6 +49,13 @@ struct EmbShardInput
     {
         return icdfRows[i] * rowBytes;
     }
+
+    /** This EMB's ICDF step count (tables may differ when the
+     *  granularity autotuner picked per-table knees). */
+    unsigned numSteps() const
+    {
+        return static_cast<unsigned>(icdfRows.size()) - 1;
+    }
 };
 
 /**
@@ -63,6 +70,17 @@ std::vector<EmbShardInput>
 buildShardInputs(const ModelSpec &model,
                  const std::vector<EmbProfile> &profiles,
                  unsigned steps, AblationSwitches ablation = {});
+
+/**
+ * Per-table granularity variant: table j's ICDF is linearized with
+ * steps[j] steps (the granularity autotuner's per-table knees).
+ * `steps` must match the model's table count, entries positive.
+ */
+std::vector<EmbShardInput>
+buildShardInputs(const ModelSpec &model,
+                 const std::vector<EmbProfile> &profiles,
+                 const std::vector<unsigned> &steps,
+                 AblationSwitches ablation = {});
 
 /**
  * Constraint 11: the per-iteration forward-pass cost of one EMB when

@@ -255,6 +255,79 @@ TEST(FrequencyCdf, IcdfStepsAreMonotone)
         EXPECT_LE(steps[i - 1], steps[i]);
 }
 
+TEST(FrequencyCdf, IcdfStepsMatchPerStepInverseExactly)
+{
+    // Regression for the monotone-sweep rewrite of icdfSteps(): the
+    // sweep must reproduce the per-step rowsForFraction() answers
+    // byte for byte — same division, same comparison — across
+    // randomized CDFs and step counts (including steps much larger
+    // than the number of touched rows, where most entries repeat).
+    Rng rng(77001);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::uint64_t touched = rng.uniformInt(1, 300);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+        for (std::uint64_t r = 0; r < touched; ++r)
+            counts.push_back({r, static_cast<std::uint64_t>(
+                rng.uniformInt(1, 5000))});
+        const FrequencyCdf cdf(2000, counts);
+        for (const unsigned steps : {1u, 2u, 3u, 7u, 100u, 1000u}) {
+            const auto swept = cdf.icdfSteps(steps);
+            ASSERT_EQ(swept.size(), steps + 1u);
+            for (unsigned i = 0; i <= steps; ++i) {
+                const double fraction =
+                    static_cast<double>(i) /
+                    static_cast<double>(steps);
+                EXPECT_EQ(swept[i], cdf.rowsForFraction(fraction))
+                    << "trial " << trial << " steps " << steps
+                    << " i " << i;
+            }
+        }
+    }
+}
+
+TEST(FrequencyCdf, InverseConsistencyProperties)
+{
+    // The CDF/ICDF pair must be a Galois connection on every input:
+    //   rowsForFraction(accessFraction(k)) <= k   (no overshoot)
+    //   accessFraction(rowsForFraction(p)) >= p   (real coverage)
+    // and the ICDF must be monotone in the fraction. Swept over
+    // randomized CDFs plus the two degenerate shapes that stress
+    // tie-breaking: all-singleton counts and a single touched row.
+    Rng rng(77002);
+    std::vector<FrequencyCdf> cdfs;
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::uint64_t touched = rng.uniformInt(1, 250);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+        for (std::uint64_t r = 0; r < touched; ++r)
+            counts.push_back({r, static_cast<std::uint64_t>(
+                rng.uniformInt(1, 2000))});
+        cdfs.emplace_back(1000, counts);
+    }
+    {
+        // Every touched row seen exactly once: maximal ties.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ones;
+        for (std::uint64_t r = 0; r < 64; ++r)
+            ones.push_back({r, 1});
+        cdfs.emplace_back(64, ones);
+    }
+    cdfs.emplace_back(1, std::vector<std::pair<std::uint64_t,
+                                               std::uint64_t>>{
+                             {0, 12}});
+
+    for (const FrequencyCdf &cdf : cdfs) {
+        for (std::uint64_t k = 0; k <= cdf.touchedRows(); ++k)
+            EXPECT_LE(cdf.rowsForFraction(cdf.accessFraction(k)), k);
+        std::uint64_t prev = 0;
+        for (int i = 0; i <= 50; ++i) {
+            const double p = static_cast<double>(i) / 50.0;
+            const std::uint64_t rows = cdf.rowsForFraction(p);
+            EXPECT_GE(rows, prev) << "ICDF not monotone at " << p;
+            prev = rows;
+            EXPECT_GE(cdf.accessFraction(rows) + 1e-12, p);
+        }
+    }
+}
+
 TEST(FrequencyCdf, EmptyCdfBehaves)
 {
     FrequencyCdf cdf;

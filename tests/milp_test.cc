@@ -82,6 +82,45 @@ TEST(Milp, InfeasibleIsReported)
     EXPECT_EQ(res.status, LpStatus::Infeasible);
 }
 
+TEST(Milp, LimitsWithoutIncumbentReportIterLimitNotInfeasible)
+{
+    // Regression: a *feasible* MILP whose search is cut off before
+    // any incumbent exists (zero node budget, rounding heuristic
+    // off) must report IterLimit — claiming Infeasible would turn
+    // "ran out of budget" into "proven unsat".
+    LpProblem lp;
+    const int a = lp.addVariable(0, 1, -10);
+    const int b = lp.addVariable(0, 1, -13);
+    lp.addConstraint({{a, 3}, {b, 4}}, Relation::LE, 5);
+
+    MilpOptions opts;
+    opts.nodeLimit = 0;
+    opts.roundingHeuristic = false;
+    const MilpResult res = MilpSolver(lp, {a, b}, opts).solve();
+    EXPECT_EQ(res.status, LpStatus::IterLimit);
+    EXPECT_FALSE(res.provenOptimal);
+    EXPECT_EQ(res.objective, kLpInf);
+}
+
+TEST(Milp, IntegerInfeasibleButLpFeasibleIsProvenInfeasible)
+{
+    // The LP relaxation admits x = y = 0.25, but no 0/1 point
+    // satisfies x + y == 0.5: the fully explored tree must prove
+    // Infeasible (and may do so with the heuristic on or off).
+    for (const bool heuristic : {true, false}) {
+        LpProblem lp;
+        const int x = lp.addVariable(0, 1, 1);
+        const int y = lp.addVariable(0, 1, 1);
+        lp.addConstraint({{x, 1}, {y, 1}}, Relation::EQ, 0.5);
+        MilpOptions opts;
+        opts.roundingHeuristic = heuristic;
+        const MilpResult res = MilpSolver(lp, {x, y}, opts).solve();
+        EXPECT_EQ(res.status, LpStatus::Infeasible)
+            << "heuristic " << heuristic;
+        EXPECT_FALSE(res.provenOptimal);
+    }
+}
+
 TEST(Milp, EqualityOverBinariesForcesSelection)
 {
     // Exactly one of three binaries, with distinct costs.

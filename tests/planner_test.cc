@@ -1,10 +1,12 @@
 /**
  * @file
  * Tests for the unified planner API: registry lookup and errors,
- * the five built-in strategies honoring the Planner contract on a
- * shared fixture, external self-registration, the useExactMilp
- * deprecation shim, and heterogeneous per-node cluster planning
- * (a larger-HBM node must pin more hot rows).
+ * the eight built-in strategies honoring the Planner contract on a
+ * shared fixture, seed-determinism of the stochastic strategies,
+ * the milp adapter's no-incumbent reporting, external
+ * self-registration, the useExactMilp deprecation shim, and
+ * heterogeneous per-node cluster planning (a larger-HBM node must
+ * pin more hot rows).
  */
 
 #include <gtest/gtest.h>
@@ -24,7 +26,7 @@ using namespace recshard;
 
 const char *const kBuiltins[] = {
     "greedy-size", "greedy-lookup", "greedy-size-lookup",
-    "recshard", "milp",
+    "recshard", "milp", "lp-rounding", "anneal", "recshard-tuned",
 };
 
 /** Shared fixture: a capacity-pressured 2-GPU instance small
@@ -158,6 +160,87 @@ TEST(Planner, UniformDiagnosticsAreComparableAcrossStrategies)
         EXPECT_LT(recshard, base * 1.0001)
             << "recshard lost to " << greedy;
     }
+}
+
+TEST(Planner, StochasticStrategiesAreSeedDeterministic)
+{
+    // Same request + same seed → byte-identical placements and the
+    // same uniform cost; a different seed is allowed to differ (and
+    // rounding trials genuinely sample), but must stay feasible.
+    const PlannerFixture fx;
+    for (const char *name : {"lp-rounding", "anneal"}) {
+        const auto planner = PlannerRegistry::create(name);
+        PlanRequest req = fx.request();
+        req.seed = 1234567;
+        const PlanResult a = planner->plan(req);
+        const PlanResult b = planner->plan(req);
+        ASSERT_TRUE(a.diag.feasible) << name;
+        ASSERT_TRUE(b.diag.feasible) << name;
+        ASSERT_EQ(a.plan.tables.size(), b.plan.tables.size());
+        for (std::size_t j = 0; j < a.plan.tables.size(); ++j) {
+            EXPECT_EQ(a.plan.tables[j].gpu, b.plan.tables[j].gpu)
+                << name << " table " << j;
+            EXPECT_EQ(a.plan.tables[j].hbmRows,
+                      b.plan.tables[j].hbmRows)
+                << name << " table " << j;
+        }
+        EXPECT_EQ(a.diag.bottleneckCost, b.diag.bottleneckCost)
+            << name;
+        EXPECT_EQ(a.diag.notes, b.diag.notes) << name;
+
+        req.seed = 7654321;
+        const PlanResult c = planner->plan(req);
+        EXPECT_TRUE(c.diag.feasible) << name;
+        c.plan.validate(fx.model, fx.system);
+    }
+}
+
+TEST(Planner, AnnealNeverLosesToItsSeedPlan)
+{
+    // The walk keeps the best state visited and starts from the
+    // recshard plan, so it can only match or beat it.
+    const PlannerFixture fx;
+    const PlanRequest req = fx.request();
+    const double seed_cost =
+        PlannerRegistry::create("recshard")->plan(req)
+            .diag.bottleneckCost;
+    const double annealed =
+        PlannerRegistry::create("anneal")->plan(req)
+            .diag.bottleneckCost;
+    EXPECT_LE(annealed, seed_cost * (1.0 + 1e-9));
+}
+
+TEST(Planner, TunedRecShardReportsKneesAndStaysFeasible)
+{
+    const PlannerFixture fx;
+    PlanRequest req = fx.request();
+    req.autotune.minSteps = 8;
+    req.autotune.maxSteps = 128;
+    const PlanResult r =
+        PlannerRegistry::create("recshard-tuned")->plan(req);
+    ASSERT_TRUE(r.diag.feasible);
+    r.plan.validate(fx.model, fx.system);
+    EXPECT_NE(r.diag.notes.find("knee steps"), std::string::npos);
+    // One knee per table was tuned.
+    EXPECT_EQ(r.diag.refinementSteps, fx.model.features.size());
+}
+
+TEST(Planner, MilpAdapterReportsStatusNotObjectiveWithoutIncumbent)
+{
+    // With the node budget zeroed and the rounding heuristic off,
+    // branch-and-bound can't produce an incumbent: the adapter must
+    // mark the result infeasible and report only the root status —
+    // never the sentinel objective as if it were a real cost.
+    const PlannerFixture fx;
+    PlanRequest req = fx.request();
+    req.milp.milp.nodeLimit = 0;
+    req.milp.milp.roundingHeuristic = false;
+    const PlanResult r = PlannerRegistry::create("milp")->plan(req);
+    EXPECT_FALSE(r.diag.feasible);
+    EXPECT_NE(r.diag.notes.find("no incumbent"), std::string::npos)
+        << r.diag.notes;
+    EXPECT_EQ(r.diag.notes.find("objective"), std::string::npos)
+        << r.diag.notes;
 }
 
 TEST(Planner, RejectsMalformedRequests)

@@ -193,6 +193,34 @@ TEST(TieringPlan, EveryScalablePlannerSolvesRm1ThreeTier)
     }
 }
 
+TEST(TieringPlan, LpRoundingIsSeedDeterministicOnThreeTierRm1)
+{
+    // The stochastic planner's whole pipeline — relaxation, seeded
+    // rounding trials, repair, N-tier extension — must reproduce
+    // bit for bit from PlanRequest::seed on the rm1 3-tier gate.
+    const ModelSpec model = makeRm1(2e-4);
+    SyntheticDataset data(model, 42);
+    const auto profiles = profileDataset(data, 6000, 2048);
+    const SystemSpec node = pressuredThreeTier(model, 2, 16, 8);
+
+    const PlanRequest req =
+        PlanRequest::make(model, profiles, node, 4096);
+    const auto planner = PlannerRegistry::create("lp-rounding");
+    const PlanResult a = planner->plan(req);
+    const PlanResult b = planner->plan(req);
+    ASSERT_TRUE(a.diag.feasible);
+    ASSERT_TRUE(b.diag.feasible);
+    ASSERT_EQ(a.plan.tables.size(), b.plan.tables.size());
+    for (std::size_t j = 0; j < a.plan.tables.size(); ++j) {
+        EXPECT_EQ(a.plan.tables[j].gpu, b.plan.tables[j].gpu);
+        EXPECT_EQ(a.plan.tables[j].hbmRows,
+                  b.plan.tables[j].hbmRows);
+        EXPECT_EQ(a.plan.tables[j].tierRows,
+                  b.plan.tables[j].tierRows);
+    }
+    EXPECT_EQ(a.diag.bottleneckCost, b.diag.bottleneckCost);
+}
+
 TEST(TieringPlan, ExactMilpSolvesTinyThreeTierInstance)
 {
     const ModelSpec model = makeTinyModel(4, 800, 71);
